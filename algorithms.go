@@ -1,0 +1,82 @@
+package swbfs
+
+import (
+	"swbfs/internal/algos"
+	"swbfs/internal/graph"
+)
+
+// Beyond BFS: the paper's Section 8 observes that its three techniques
+// transfer directly to other irregular graph algorithms whose key
+// operation is shuffling dynamically generated data — SSSP, WCC, PageRank
+// and K-core decomposition. This file exposes those algorithms, each
+// running on the same simulated machine (transports, traffic accounting,
+// timing model) as the BFS engine.
+
+// WeightedGraph pairs a Graph with positive, symmetric edge weights.
+type WeightedGraph = graph.WeightedCSR
+
+// GenerateWeights attaches deterministic pseudo-random weights in
+// [1, maxWeight] to a symmetric graph (both directions equal).
+func GenerateWeights(g *Graph, maxWeight, seed int64) (*WeightedGraph, error) {
+	return graph.GenerateWeights(g, maxWeight, seed)
+}
+
+// InfDistance marks unreachable vertices in SSSP results.
+const InfDistance = algos.InfDistance
+
+// SSSPResult holds single-source shortest-path distances plus run
+// statistics from the simulated machine.
+type SSSPResult = algos.SSSPResult
+
+// SSSP computes single-source shortest paths (frontier-driven
+// Bellman-Ford) on the simulated machine.
+func SSSP(cfg MachineConfig, g *WeightedGraph, root Vertex) (*SSSPResult, error) {
+	return algos.SSSP(cfg, g, root)
+}
+
+// DeltaSSSPResult extends SSSP output with bucket/work accounting.
+type DeltaSSSPResult = algos.DeltaSSSPResult
+
+// DeltaSSSP computes single-source shortest paths with Meyer-Sanders
+// delta-stepping (bucket width delta; 0 picks the max edge weight).
+func DeltaSSSP(cfg MachineConfig, g *WeightedGraph, root Vertex, delta int64) (*DeltaSSSPResult, error) {
+	return algos.DeltaSSSP(cfg, g, root, delta)
+}
+
+// WCCResult labels every vertex with the smallest vertex ID of its
+// weakly connected component.
+type WCCResult = algos.WCCResult
+
+// WCC computes weakly connected components by distributed min-label
+// propagation.
+func WCC(cfg MachineConfig, g *Graph) (*WCCResult, error) {
+	return algos.WCC(cfg, g)
+}
+
+// PageRankResult holds per-vertex ranks.
+type PageRankResult = algos.PageRankResult
+
+// PageRank runs push-based synchronous PageRank for the given iteration
+// count (damping 0 selects the conventional 0.85).
+func PageRank(cfg MachineConfig, g *Graph, iterations int, damping float64) (*PageRankResult, error) {
+	return algos.PageRank(cfg, g, iterations, damping)
+}
+
+// BCResult holds (approximate) betweenness centrality per vertex.
+type BCResult = algos.BCResult
+
+// Betweenness computes betweenness centrality from the sampled sources
+// (distributed Brandes: forward sigma sweeps + backward dependency
+// accumulation, both level-synchronous shuffles).
+func Betweenness(cfg MachineConfig, g *Graph, sources []Vertex) (*BCResult, error) {
+	return algos.Betweenness(cfg, g, sources)
+}
+
+// KCoreResult marks k-core membership per vertex.
+type KCoreResult = algos.KCoreResult
+
+// KCore computes the k-core (maximal subgraph of minimum degree k) by
+// distributed peeling.
+func KCore(cfg MachineConfig, g *Graph, k int64) (*KCoreResult, error) {
+	return algos.KCore(cfg, g, k)
+}

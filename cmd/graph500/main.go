@@ -1,0 +1,188 @@
+// Command graph500 runs the full Graph500 benchmark on the simulated
+// Sunway TaihuLight machine: Kronecker generation, graph construction,
+// 64 rooted BFS runs on the configured machine, validation, and
+// harmonic-mean TEPS reporting.
+//
+// Example:
+//
+//	graph500 -scale 18 -nodes 64 -transport relay -engine cpe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+	"swbfs/internal/graph500"
+	"swbfs/internal/perf"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "log2 of the vertex count")
+		edgefactor = flag.Int("edgefactor", 16, "edges per vertex")
+		nodes      = flag.Int("nodes", 16, "simulated compute nodes")
+		superSize  = flag.Int("super", 16, "nodes per super node (fat-tree scaling)")
+		roots      = flag.Int("roots", 64, "number of BFS roots (Graph500 uses 64)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		transport  = flag.String("transport", "relay", "messaging scheme: direct | relay")
+		engine     = flag.String("engine", "cpe", "module processing: mpe | cpe")
+		noOpt      = flag.Bool("no-direction-opt", false, "disable the hybrid top-down/bottom-up policy")
+		noHubs     = flag.Bool("no-hub-prefetch", false, "disable degree-aware hub prefetching")
+		noValidate = flag.Bool("skip-validation", false, "skip result validation (timing sweeps only)")
+		input      = flag.String("input", "", "edge-list file to benchmark instead of generating (see -format)")
+		format     = flag.String("format", "text", "input format: text | binary")
+		vertices   = flag.Int64("vertices", 0, "vertex count for -input (0 = max vertex ID + 1)")
+		verbose    = flag.Bool("verbose", false, "print per-root and per-level detail")
+		compress   = flag.Bool("compress", false, "enable varint-delta message compression (Section 7 extension)")
+		trace      = flag.String("trace", "", "write per-root/per-level statistics as JSON lines to this file")
+		kernel     = flag.String("kernel", "bfs", "benchmark kernel: bfs | sssp (Graph500 v3 second kernel)")
+		delta      = flag.Int64("delta", 0, "sssp kernel: delta-stepping bucket width (0 = Bellman-Ford)")
+	)
+	flag.Parse()
+
+	machine := core.Config{
+		Nodes:              *nodes,
+		SuperNodeSize:      *superSize,
+		DirectionOptimized: !*noOpt,
+		HubPrefetch:        !*noHubs,
+		SmallMessageMPE:    true,
+	}
+	switch *transport {
+	case "direct":
+		machine.Transport = core.TransportDirect
+	case "relay":
+		machine.Transport = core.TransportRelay
+	default:
+		fatalf("unknown transport %q (want direct or relay)", *transport)
+	}
+	switch *engine {
+	case "mpe":
+		machine.Engine = perf.EngineMPE
+	case "cpe":
+		machine.Engine = perf.EngineCPE
+	default:
+		fatalf("unknown engine %q (want mpe or cpe)", *engine)
+	}
+
+	if *compress {
+		machine.Codec = comm.VarintDeltaCodec{}
+	}
+
+	if *kernel == "sssp" {
+		report, err := graph500.RunSSSP(graph500.SSSPBenchConfig{
+			Scale:      *scale,
+			EdgeFactor: *edgefactor,
+			Seed:       *seed,
+			Roots:      *roots,
+			Delta:      *delta,
+			Machine:    machine,
+		})
+		if err != nil {
+			fatalf("sssp benchmark failed: %v", err)
+		}
+		fmt.Printf("KERNEL:               sssp (delta=%d)\n", *delta)
+		fmt.Printf("SCALE:                %d\n", *scale)
+		fmt.Printf("NROOTS:               %d\n", len(report.Runs))
+		fmt.Printf("num_vertices:         %d\n", report.NumVertices)
+		fmt.Printf("num_undirected_edges: %d\n", report.NumEdges)
+		fmt.Printf("machine:              %s, %d nodes\n", machine.Name(), machine.Nodes)
+		fmt.Printf("sssp_time:            %s\n", report.KernelTime)
+		fmt.Printf("sssp_TEPS:            %s\n", report.TEPS)
+		fmt.Printf("harmonic_mean_GTEPS:  %.4f\n", report.GTEPSHarmonicMean())
+		return
+	}
+	if *kernel != "bfs" {
+		fatalf("unknown kernel %q (want bfs or sssp)", *kernel)
+	}
+
+	cfg := graph500.BenchConfig{
+		Scale:          *scale,
+		EdgeFactor:     *edgefactor,
+		Seed:           *seed,
+		Roots:          *roots,
+		SkipValidation: *noValidate,
+		KeepLevels:     *verbose || *trace != "",
+		Machine:        machine,
+	}
+	if *input != "" {
+		edges, n, err := loadEdges(*input, *format, *vertices)
+		if err != nil {
+			fatalf("loading %s: %v", *input, err)
+		}
+		cfg.Edges, cfg.NumVertices = edges, n
+	}
+
+	report, err := graph500.Run(cfg)
+	if err != nil {
+		fatalf("benchmark failed: %v", err)
+	}
+	if *verbose {
+		report.PrintDetail(os.Stdout)
+	} else {
+		report.Print(os.Stdout)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, report); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+	}
+}
+
+// writeTrace dumps one JSON object per BFS run (with its per-level
+// statistics) for external analysis tooling.
+func writeTrace(path string, report *graph500.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, run := range report.Runs {
+		if err := enc.Encode(run); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// loadEdges reads an edge list and infers the vertex count when not given.
+func loadEdges(path, format string, vertices int64) ([]graph.Edge, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var edges []graph.Edge
+	switch format {
+	case "text":
+		edges, err = graph.ReadEdgesText(f)
+	case "binary":
+		edges, err = graph.ReadEdgesBinary(f)
+	default:
+		return nil, 0, fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if vertices == 0 {
+		for _, e := range edges {
+			if int64(e.From) >= vertices {
+				vertices = int64(e.From) + 1
+			}
+			if int64(e.To) >= vertices {
+				vertices = int64(e.To) + 1
+			}
+		}
+	}
+	return edges, vertices, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graph500: "+format+"\n", args...)
+	os.Exit(1)
+}

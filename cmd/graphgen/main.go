@@ -1,0 +1,79 @@
+// Command graphgen emits a Graph500 Kronecker edge list, either as text
+// ("u<TAB>v" per line) or as the packed little-endian binary format the
+// reference implementation uses (two int64 per edge).
+//
+//	graphgen -scale 20 -seed 7 > edges.txt
+//	graphgen -scale 20 -format binary -out edges.bin
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"swbfs/internal/graph"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "log2 of the vertex count")
+		edgefactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		format     = flag.String("format", "text", "output format: text | binary")
+		out        = flag.String("out", "-", "output path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	edges, err := graph.GenerateKronecker(graph.KroneckerConfig{
+		Scale: *scale, EdgeFactor: *edgefactor, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer func() {
+		if err := bw.Flush(); err != nil {
+			fatalf("flush: %v", err)
+		}
+	}()
+
+	switch *format {
+	case "text":
+		for _, e := range edges {
+			fmt.Fprintf(bw, "%d\t%d\n", e.From, e.To)
+		}
+	case "binary":
+		var buf [16]byte
+		for _, e := range edges {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(e.From))
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(e.To))
+			if _, err := bw.Write(buf[:]); err != nil {
+				fatalf("write: %v", err)
+			}
+		}
+	default:
+		fatalf("unknown format %q", *format)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

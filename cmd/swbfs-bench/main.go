@@ -1,0 +1,161 @@
+// Command swbfs-bench regenerates the paper's tables and figures on the
+// simulated machine. Each subcommand prints one artifact; `all` prints
+// everything in paper order.
+//
+//	swbfs-bench table1    machine specification (Table 1)
+//	swbfs-bench fig3      DMA bandwidth vs chunk size (Figure 3)
+//	swbfs-bench fig5      memory bandwidth vs CPE count (Figure 5)
+//	swbfs-bench regbus    contention-free shuffle bandwidth (Section 4.3)
+//	swbfs-bench relaybw   relay vs direct big-message bandwidth (Section 4.4)
+//	swbfs-bench msgcount  connection & MPI memory scaling (Section 4.4)
+//	swbfs-bench fig11     technique comparison sweep (Figure 11)
+//	swbfs-bench fig12     weak scaling sweep (Figure 12)
+//	swbfs-bench strong    strong-scaling complement to Figure 12
+//	swbfs-bench table2    cross-system comparison (Table 2)
+//	swbfs-bench headline  full-machine GTEPS projection
+//	swbfs-bench ablations design-choice ablation study
+//	swbfs-bench policy    direction-policy threshold sensitivity
+//	swbfs-bench all       everything
+//
+// Use -quick for smaller sweeps, -full for larger ones, and
+// -format csv|json for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swbfs/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "small sweeps (seconds)")
+		full   = flag.Bool("full", false, "large sweeps (minutes; up to 256 functional nodes)")
+		seed   = flag.Int64("seed", 20160624, "deterministic seed")
+		roots  = flag.Int("roots", 0, "BFS roots per data point (0 = per-experiment default)")
+		format = flag.String("format", "text", "output format: text | csv | json")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+
+	fig11opts := experiments.Fig11Options{Seed: *seed, Roots: *roots}
+	fig12opts := experiments.Fig12Options{Seed: *seed, Roots: *roots}
+	headlineLog := 13
+	switch {
+	case *quick:
+		fig11opts.FunctionalNodes = []int{1, 4, 16}
+		fig11opts.PerNodeLog = 11
+		fig12opts.FunctionalNodes = []int{4, 16}
+		fig12opts.PerNodeLogs = []int{7, 9, 11}
+		headlineLog = 11
+	case *full:
+		fig11opts.FunctionalNodes = []int{1, 4, 16, 64, 256}
+		fig12opts.FunctionalNodes = []int{4, 16, 64, 256}
+	}
+
+	emit := func(t *experiments.Table) {
+		switch *format {
+		case "csv":
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatalf("csv: %v", err)
+			}
+		case "json":
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fatalf("json: %v", err)
+			}
+		default:
+			t.Print(os.Stdout)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			emit(experiments.Table1())
+		case "fig3":
+			emit(experiments.Fig3())
+		case "fig5":
+			emit(experiments.Fig5())
+		case "regbus":
+			t, err := experiments.RegBus(0)
+			if err != nil {
+				fatalf("regbus: %v", err)
+			}
+			emit(t)
+		case "relaybw":
+			emit(experiments.RelayBW())
+		case "msgcount":
+			emit(experiments.MsgCount())
+		case "fig11":
+			emit(experiments.Fig11(fig11opts))
+		case "fig12":
+			emit(experiments.Fig12(fig12opts))
+		case "strong":
+			emit(experiments.StrongScaling(experiments.StrongOptions{Seed: *seed, Roots: *roots, Quick: *quick}))
+		case "table2":
+			_, proj := experiments.Headline(headlineLog, *roots, *seed)
+			emit(experiments.Table2(proj))
+		case "ablations":
+			ablOpts := experiments.AblationOptions{Seed: *seed, Roots: *roots}
+			if *quick {
+				ablOpts.Scale = 13
+			}
+			t, err := experiments.Ablations(ablOpts)
+			if err != nil {
+				fatalf("ablations: %v", err)
+			}
+			emit(t)
+		case "policy":
+			polOpts := experiments.PolicySweepOptions{Seed: *seed, Roots: *roots}
+			if *quick {
+				polOpts.Scale = 12
+			}
+			t, err := experiments.PolicySweep(polOpts)
+			if err != nil {
+				fatalf("policy: %v", err)
+			}
+			emit(t)
+		case "headline":
+			m, proj := experiments.Headline(headlineLog, *roots, *seed)
+			if m.Crashed() {
+				fatalf("headline measurement failed: %v", m.Err)
+			}
+			fmt.Printf("functional: %d nodes, %d vtx/node, %.3f GTEPS (measured)\n",
+				m.Nodes, m.PerNodeVertices, m.GTEPS)
+			if proj.Crashed() {
+				fatalf("projection failed: %v", proj.Err)
+			}
+			fmt.Printf("projected:  %d nodes, %.1f GTEPS (modelled)\n", proj.Nodes, proj.GTEPS)
+			fmt.Printf("paper:      40,768 nodes, 23755.7 GTEPS (measured on TaihuLight)\n")
+		default:
+			usage()
+		}
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{
+			"table1", "fig3", "fig5", "regbus", "relaybw", "msgcount",
+			"fig11", "fig12", "strong", "table2", "headline", "ablations", "policy",
+		} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(cmd)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: swbfs-bench [-quick|-full] [-seed N] [-roots N] [-format text|csv|json] <table1|fig3|fig5|regbus|relaybw|msgcount|fig11|fig12|strong|table2|headline|ablations|policy|all>")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swbfs-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

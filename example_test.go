@@ -1,0 +1,67 @@
+package swbfs_test
+
+import (
+	"fmt"
+
+	"swbfs"
+)
+
+// Example runs one validated BFS on the simulated machine — deterministic
+// from the seeds, so the output is checked by `go test`.
+func Example() {
+	g, err := swbfs.GenerateGraph(swbfs.GraphConfig{Scale: 10, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	m, err := swbfs.NewMachine(swbfs.DefaultMachine(4), g)
+	if err != nil {
+		panic(err)
+	}
+	_, root := g.MaxDegree()
+	res, err := m.BFS(root)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := swbfs.ValidateBFS(g, root, res.Parent); err != nil {
+		panic(err)
+	}
+	fmt.Printf("visited %d of %d vertices in %d levels\n", res.Visited, g.N, len(res.Levels))
+	// Output: visited 899 of 1024 vertices in 4 levels
+}
+
+// ExampleWCC labels weakly connected components on the same machine.
+func ExampleWCC() {
+	g, err := swbfs.BuildGraph(6, []swbfs.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, // component {0,1,2}
+		{From: 3, To: 4}, // component {3,4}
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := swbfs.WCC(swbfs.DefaultMachine(2), g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Components, res.Label)
+	// Output: 3 [0 0 0 3 3 5]
+}
+
+// ExampleSSSP computes weighted shortest paths.
+func ExampleSSSP() {
+	g, err := swbfs.BuildGraph(4, []swbfs.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 2}, {From: 2, To: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	wg, err := swbfs.GenerateWeights(g, 1, 1) // all weights 1
+	if err != nil {
+		panic(err)
+	}
+	res, err := swbfs.SSSP(swbfs.DefaultMachine(2), wg, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Dist)
+	// Output: [0 1 1 2]
+}

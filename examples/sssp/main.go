@@ -1,0 +1,77 @@
+// Shortest paths on the BFS substrate: the paper's Section 8 names SSSP as
+// a direct beneficiary of its techniques ("the key operations of the
+// distributed BFS can be viewed as shuffling dynamically generated data").
+// This example runs weighted single-source shortest paths on the simulated
+// machine, cross-checks against BFS hop counts, and shows the relay
+// transport's connection savings applying unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swbfs"
+)
+
+func main() {
+	g, err := swbfs.GenerateGraph(swbfs.GraphConfig{Scale: 13, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg, err := swbfs.GenerateWeights(g, 100, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, root := g.MaxDegree()
+	fmt.Printf("graph: %d vertices, %d weighted undirected edges; source %d\n",
+		g.N, g.NumEdges()/2, root)
+
+	cfg := swbfs.DefaultMachine(8)
+	res, err := swbfs.SSSP(cfg, wg, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Distance distribution.
+	var reached int64
+	var maxDist, sumDist int64
+	for _, d := range res.Dist {
+		if d == swbfs.InfDistance {
+			continue
+		}
+		reached++
+		sumDist += d
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	fmt.Printf("reached %d of %d vertices; eccentricity %d, mean distance %.1f\n",
+		reached, g.N, maxDist, float64(sumDist)/float64(reached))
+	fmt.Printf("machine: %d rounds, %.2f MB network traffic, %.1f modelled MTEPS\n",
+		res.Info.Rounds, float64(res.Info.NetworkBytes)/(1<<20), res.Info.MTEPS(res.Relaxations))
+
+	// Sanity: weighted distance is bounded below by hop count (weights >= 1)
+	// and above by hops * maxWeight.
+	m, err := swbfs.NewMachine(cfg, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bfs, err := m.BFS(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levels, err := swbfs.ValidateBFS(g, root, bfs.Parent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v, hops := range levels {
+		d := res.Dist[v]
+		switch {
+		case hops < 0 && d != swbfs.InfDistance:
+			log.Fatalf("vertex %d: BFS unreachable but SSSP distance %d", v, d)
+		case hops >= 0 && (d < hops || d > hops*100):
+			log.Fatalf("vertex %d: distance %d outside [hops=%d, hops*100]", v, d, hops)
+		}
+	}
+	fmt.Println("cross-check against BFS hop counts: OK")
+}

@@ -1,0 +1,3 @@
+module swbfs
+
+go 1.22

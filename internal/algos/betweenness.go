@@ -1,0 +1,272 @@
+package algos
+
+import (
+	"fmt"
+	"math"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+// Distributed betweenness centrality (Brandes) — one more irregular
+// algorithm whose "key operation is shuffling dynamically generated data"
+// (Section 8). Per sampled source the algorithm runs a level-synchronous
+// forward sweep counting shortest paths (sigma), then a backward sweep
+// accumulating dependencies (delta), level by level:
+//
+//	forward round L:   u in frontier sends (v, sigma[u]) to v's owner
+//	backward round L:  w at depth L sends (u, (1+delta[w])/sigma[w]) to
+//	                   every neighbour; receivers at depth L-1 fold
+//	                   delta[u] += sigma[u] * payload
+//
+// The backward filter needs no sender identity: rounds are synchronized to
+// one depth at a time, so a receiver accepts exactly when its own depth is
+// one less than the round's.
+type bcNode struct {
+	ctx     *NodeCtx
+	sources []graph.Vertex
+	srcIdx  int
+
+	// Per-source sweep state (local vertices).
+	dist  []int64
+	sigma []float64
+	delta []float64
+
+	// frontier of the current forward level.
+	frontier []int64
+	depth    int64 // current forward level / backward depth
+	maxDepth int64
+	backward bool
+
+	// bc accumulates the centrality of local vertices across sources.
+	bc []float64
+
+	done bool
+}
+
+// BCResult is the merged output.
+type BCResult struct {
+	// Centrality per vertex (unnormalized, summed over the sampled
+	// sources; divide by the sample count for per-source averages).
+	Centrality []float64
+	Sources    []graph.Vertex
+	Info       *RunInfo
+}
+
+// Betweenness computes (approximate) betweenness centrality from the given
+// sample sources on the simulated machine.
+func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResult, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("algos: betweenness needs at least one source")
+	}
+	for _, s := range sources {
+		if s < 0 || int64(s) >= g.N {
+			return nil, fmt.Errorf("algos: source %d out of range", s)
+		}
+	}
+	nodes := make([]*bcNode, cfg.Nodes)
+	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+		n := ctx.Sub.NumVertices()
+		bn := &bcNode{
+			ctx:     ctx,
+			sources: sources,
+			dist:    make([]int64, n),
+			sigma:   make([]float64, n),
+			delta:   make([]float64, n),
+			bc:      make([]float64, n),
+		}
+		bn.startSource()
+		nodes[ctx.ID] = bn
+		return bn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BCResult{
+		Centrality: make([]float64, g.N),
+		Sources:    sources,
+		Info:       info,
+	}
+	part := graph.NewRoundRobin(g.N, cfg.Nodes)
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		res.Centrality[v] = nodes[part.Owner(v)].bc[part.Local(v)]
+	}
+	return res, nil
+}
+
+// startSource resets per-source state for sources[srcIdx].
+func (b *bcNode) startSource() {
+	for i := range b.dist {
+		b.dist[i] = -1
+		b.sigma[i] = 0
+		b.delta[i] = 0
+	}
+	b.frontier = b.frontier[:0]
+	b.depth = 0
+	b.maxDepth = 0
+	b.backward = false
+	s := b.sources[b.srcIdx]
+	if b.ctx.Part.Owner(s) == b.ctx.ID {
+		local := b.ctx.Part.Local(s)
+		b.dist[local] = 0
+		b.sigma[local] = 1
+		b.frontier = append(b.frontier, local)
+	}
+}
+
+func (b *bcNode) Active() int64 {
+	if b.done {
+		return 0
+	}
+	return 1
+}
+
+func (b *bcNode) Generate(round int, send Send) error {
+	if !b.backward {
+		// Forward: expand the depth-b.depth frontier.
+		for _, local := range b.frontier {
+			bits := graph.Vertex(math.Float64bits(b.sigma[local]))
+			for _, v := range b.ctx.Sub.Neighbors(local) {
+				if err := send(b.ctx.Part.Owner(v), comm.Pair{v, bits}); err != nil {
+					return err
+				}
+			}
+		}
+		b.frontier = b.frontier[:0]
+		return nil
+	}
+	// Backward: vertices at the current depth broadcast their dependency
+	// coefficient to every neighbour; depth-(d-1) receivers filter.
+	for local := int64(0); local < b.ctx.Sub.NumVertices(); local++ {
+		if b.dist[local] != b.depth || b.sigma[local] == 0 {
+			continue
+		}
+		coeff := (1 + b.delta[local]) / b.sigma[local]
+		bits := graph.Vertex(math.Float64bits(coeff))
+		for _, u := range b.ctx.Sub.Neighbors(local) {
+			if err := send(b.ctx.Part.Owner(u), comm.Pair{u, bits}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *bcNode) Handle(round int, pairs []comm.Pair) error {
+	if !b.backward {
+		for _, p := range pairs {
+			v := p[0]
+			add := math.Float64frombits(uint64(p[1]))
+			local := b.ctx.Part.Local(v)
+			switch b.dist[local] {
+			case -1:
+				b.dist[local] = b.depth + 1
+				b.sigma[local] = add
+				b.frontier = append(b.frontier, local)
+			case b.depth + 1:
+				b.sigma[local] += add
+			}
+		}
+		return nil
+	}
+	for _, p := range pairs {
+		u := p[0]
+		coeff := math.Float64frombits(uint64(p[1]))
+		local := b.ctx.Part.Local(u)
+		if b.dist[local] == b.depth-1 {
+			b.delta[local] += b.sigma[local] * coeff
+		}
+	}
+	return nil
+}
+
+func (b *bcNode) EndRound(round int) error {
+	if !b.backward {
+		// Did the global frontier advance?
+		grew := b.ctx.Net.AllreduceSum(int64(len(b.frontier)))
+		b.depth++
+		if grew > 0 {
+			return nil
+		}
+		// Forward sweep complete: the deepest populated level is depth-1.
+		b.maxDepth = b.depth - 1
+		b.backward = true
+		b.depth = b.maxDepth
+		if b.depth <= 0 {
+			return b.finishSource()
+		}
+		return nil
+	}
+	b.depth--
+	if b.depth <= 0 {
+		return b.finishSource()
+	}
+	return nil
+}
+
+// finishSource folds delta into bc and advances to the next source (or
+// finishes the run). Every node takes the same transition: the decision
+// depends only on synchronized state.
+func (b *bcNode) finishSource() error {
+	s := b.sources[b.srcIdx]
+	for local := int64(0); local < b.ctx.Sub.NumVertices(); local++ {
+		if b.dist[local] >= 0 && b.ctx.Global(local) != s {
+			b.bc[local] += b.delta[local]
+		}
+	}
+	b.srcIdx++
+	if b.srcIdx >= len(b.sources) {
+		b.done = true
+		return nil
+	}
+	b.startSource()
+	return nil
+}
+
+// ReferenceBetweenness is the sequential Brandes oracle over the same
+// sources (unnormalized, matching Betweenness).
+func ReferenceBetweenness(g *graph.CSR, sources []graph.Vertex) []float64 {
+	bc := make([]float64, g.N)
+	dist := make([]int64, g.N)
+	sigma := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	var order []graph.Vertex
+	for _, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []graph.Vertex{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, u := range g.Neighbors(w) {
+				if dist[u] == dist[w]-1 {
+					delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+				}
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,99 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+func TestBetweennessPathGraph(t *testing.T) {
+	// On a path 0-1-2-3-4 with source 0, dependencies are exact: from
+	// source 0, delta(1)=3, delta(2)=2, delta(3)=1.
+	edges := []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4}}
+	g, err := graph.BuildCSR(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Betweenness(machine(2, core.TransportDirect), g, []graph.Vertex{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 3, 2, 1, 0}
+	for v, w := range want {
+		if math.Abs(res.Centrality[v]-w) > 1e-12 {
+			t.Fatalf("bc[%d] = %v, want %v", v, res.Centrality[v], w)
+		}
+	}
+}
+
+func TestBetweennessMatchesBrandes(t *testing.T) {
+	g := kron(t, 9, 71)
+	sources := []graph.Vertex{1, 33, 200}
+	want := ReferenceBetweenness(g, sources)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		res, err := Betweenness(machine(4, transport), g, sources)
+		if err != nil {
+			t.Fatalf("%v: %v", transport, err)
+		}
+		for v := range want {
+			diff := math.Abs(res.Centrality[v] - want[v])
+			scale := math.Abs(want[v]) + 1
+			if diff/scale > 1e-9 {
+				t.Fatalf("%v: bc[%d] = %v, want %v", transport, v, res.Centrality[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessStarGraph(t *testing.T) {
+	// Star: centre 0 carries all pairwise shortest paths. With sources =
+	// all leaves, bc[0] = sum over sources of (leaves-1) = 4*3.
+	edges := make([]graph.Edge, 0, 4)
+	for v := graph.Vertex(1); v <= 4; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: v})
+	}
+	g, err := graph.BuildCSR(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Betweenness(machine(2, core.TransportRelay), g, []graph.Vertex{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centrality[0]-12) > 1e-12 {
+		t.Fatalf("centre bc = %v, want 12", res.Centrality[0])
+	}
+	for v := 1; v <= 4; v++ {
+		if math.Abs(res.Centrality[v]) > 1e-12 {
+			t.Fatalf("leaf %d bc = %v, want 0", v, res.Centrality[v])
+		}
+	}
+}
+
+func TestBetweennessIsolatedSource(t *testing.T) {
+	g, err := graph.BuildCSR(4, []graph.Edge{{From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Betweenness(machine(2, core.TransportDirect), g, []graph.Vertex{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Centrality {
+		if c != 0 {
+			t.Fatalf("bc[%d] = %v from an isolated source", v, c)
+		}
+	}
+}
+
+func TestBetweennessRejects(t *testing.T) {
+	g := kron(t, 6, 1)
+	if _, err := Betweenness(machine(2, core.TransportDirect), g, nil); err == nil {
+		t.Fatal("empty source set accepted")
+	}
+	if _, err := Betweenness(machine(2, core.TransportDirect), g, []graph.Vertex{-1}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}

@@ -1,0 +1,279 @@
+// Package algos implements the other irregular graph algorithms the paper
+// names as direct beneficiaries of its techniques (Section 8: "the key
+// operations of the distributed BFS can be viewed as shuffling dynamically
+// generated data, which is also the major operation of many other graph
+// algorithms, such as SSSP, WCC, PageRank, and K-core decomposition. All
+// the three key techniques we used are readily applicable").
+//
+// Every algorithm here runs on exactly the same substrate as the BFS
+// engine — the comm transports (direct or group-batched relay), the
+// fat-tree traffic accounting and the perf timing model — via a shared
+// round-synchronous SPMD driver: each round, every node generates
+// messages from its active vertices, the transport batches and delivers
+// them, handlers fold them into local state, and a sum-allreduce decides
+// termination.
+package algos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/fabric"
+	"swbfs/internal/graph"
+	"swbfs/internal/perf"
+)
+
+// DefaultMaxRounds guards against non-converging algorithm bugs.
+const DefaultMaxRounds = 100000
+
+var errAborted = errors.New("algos: run aborted by peer failure")
+
+// NodeCtx is one node's view of the machine, handed to algorithm
+// constructors.
+type NodeCtx struct {
+	ID   int
+	Part graph.Partition
+	Sub  *graph.LocalSubgraph
+	Net  *comm.Network // collectives (all nodes must call symmetrically)
+}
+
+// Global converts a local vertex index to its global ID.
+func (c *NodeCtx) Global(local int64) graph.Vertex { return c.Part.Global(c.ID, local) }
+
+// Send is the message emitter handed to Generate.
+type Send func(dst int, p comm.Pair) error
+
+// RoundAlgo is one node's algorithm instance.
+type RoundAlgo interface {
+	// Active returns this node's pending work; the round runs only while
+	// the machine-wide sum is positive.
+	Active() int64
+	// Generate emits this node's messages for the round and retires the
+	// work it announced via Active.
+	Generate(round int, send Send) error
+	// Handle folds one delivered batch into local state.
+	Handle(round int, pairs []comm.Pair) error
+	// EndRound runs after all of the round's traffic has been handled
+	// (symmetric across nodes; collectives are allowed here).
+	EndRound(round int) error
+}
+
+// RunInfo is the machine-level outcome of a run.
+type RunInfo struct {
+	Rounds int
+	Levels []perf.LevelStats
+	// Time and the throughput helpers come from the perf model.
+	Time float64
+	// NetworkBytes and NetworkMessages total the wire traffic.
+	NetworkBytes, NetworkMessages int64
+	// MaxConnections is the peak per-node MPI connection count.
+	MaxConnections int
+}
+
+// MTEPS returns millions of traversed edges per second for `edges`
+// processed edge relaxations.
+func (r *RunInfo) MTEPS(edges int64) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(edges) / r.Time / 1e6
+}
+
+// Run executes one algorithm on the simulated machine described by cfg
+// over graph g. makeAlgo constructs each node's instance. maxRounds <= 0
+// selects DefaultMaxRounds.
+func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCtx) (RoundAlgo, error)) (*RunInfo, error) {
+	if err := core.ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	part := graph.NewRoundRobin(g.N, cfg.Nodes)
+	net, err := comm.NewNetwork(comm.Config{
+		Nodes:           cfg.Nodes,
+		SuperNodeSize:   cfg.SuperNodeSize,
+		BatchBytes:      cfg.BatchBytes,
+		MPIMemoryBudget: cfg.MPIMemoryBudget,
+		Codec:           cfg.Codec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+
+	shape := comm.GroupShape{}
+	if cfg.Transport == core.TransportRelay {
+		if cfg.GroupM > 0 {
+			shape, err = comm.NewGroupShape(cfg.Nodes, cfg.GroupM)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			super := cfg.SuperNodeSize
+			if super <= 0 {
+				super = 256
+			}
+			shape = comm.DefaultGroupShape(cfg.Nodes, super)
+		}
+	}
+
+	nodes := make([]*nodeRun, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		ctx := &NodeCtx{
+			ID:   i,
+			Part: part,
+			Sub:  graph.ExtractLocal(g, part, i),
+			Net:  net,
+		}
+		algo, err := makeAlgo(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("algos: node %d: %w", i, err)
+		}
+		var ep comm.Endpoint
+		if cfg.Transport == core.TransportRelay {
+			ep, err = comm.NewRelayEndpoint(net, i, shape)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			ep = comm.NewDirectEndpoint(net, i)
+		}
+		nodes[i] = &nodeRun{ctx: ctx, algo: algo, ep: ep, net: net, maxRounds: maxRounds}
+	}
+
+	info := &RunInfo{}
+	var mu sync.Mutex
+	errs := make([]error, cfg.Nodes)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = nodes[i].loop(info, &mu)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			return nil, err
+		}
+	}
+	if net.Aborted() {
+		return nil, fmt.Errorf("algos: run aborted without a reported cause")
+	}
+
+	model := perf.NewModel(net.Topo, cfg.Engine)
+	info.Time = model.TotalTime(info.Levels)
+	info.Rounds = len(info.Levels)
+	info.NetworkBytes = net.Counters.NetworkBytes()
+	info.NetworkMessages = net.Counters.NetworkMessages()
+	info.MaxConnections = net.MaxConnectionCount()
+	return info, nil
+}
+
+// nodeRun drives one node's SPMD loop.
+type nodeRun struct {
+	ctx       *NodeCtx
+	algo      RoundAlgo
+	ep        comm.Endpoint
+	net       *comm.Network
+	maxRounds int
+}
+
+func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
+	for round := 0; ; round++ {
+		if round >= n.maxRounds {
+			n.net.Abort()
+			return fmt.Errorf("algos: node %d exceeded %d rounds without converging", n.ctx.ID, n.maxRounds)
+		}
+		active := n.net.AllreduceSum(n.algo.Active())
+		if n.net.Aborted() {
+			return errAborted
+		}
+		if active == 0 {
+			return nil
+		}
+
+		var before fabric.Snapshot
+		if n.ctx.ID == 0 {
+			before = n.net.Counters.Snapshot()
+		}
+		sentMsgs0, sentBytes0 := n.net.NodeSent(n.ctx.ID)
+
+		n.ep.StartLevel(round, comm.ChanForward)
+		n.net.Barrier()
+		if n.net.Aborted() {
+			return errAborted
+		}
+
+		var sentPairs, recvPairs, batches int64
+		send := func(dst int, p comm.Pair) error {
+			sentPairs++
+			return n.ep.Send(comm.ChanForward, dst, p)
+		}
+		if err := n.algo.Generate(round, send); err != nil {
+			n.net.Abort()
+			return err
+		}
+		if err := n.ep.CloseChannel(comm.ChanForward); err != nil {
+			n.net.Abort()
+			return err
+		}
+	recvLoop:
+		for {
+			ev := n.ep.Recv()
+			switch ev.Type {
+			case comm.EvError:
+				n.net.Abort()
+				return ev.Err
+			case comm.EvData:
+				recvPairs += int64(len(ev.Batch.Pairs))
+				batches++
+				if err := n.algo.Handle(round, ev.Batch.Pairs); err != nil {
+					n.net.Abort()
+					return err
+				}
+			case comm.EvChannelClosed:
+				break recvLoop
+			}
+		}
+		if err := n.algo.EndRound(round); err != nil {
+			n.net.Abort()
+			return err
+		}
+
+		// Round statistics (same critical-path folding as the BFS engine).
+		processed := (sentPairs + recvPairs) * comm.PairBytes
+		sentMsgs1, sentBytes1 := n.net.NodeSent(n.ctx.ID)
+		maxProcessed := n.net.AllreduceMax(processed)
+		maxSent := n.net.AllreduceMax(sentBytes1 - sentBytes0)
+		maxMsgs := n.net.AllreduceMax(sentMsgs1 - sentMsgs0)
+		maxBatches := n.net.AllreduceMax(batches + 1)
+		if n.net.Aborted() {
+			return errAborted
+		}
+		if n.ctx.ID == 0 {
+			after := n.net.Counters.Snapshot()
+			rounds := 1
+			if n.ep.Mode() == "relay" {
+				rounds = 2
+			}
+			mu.Lock()
+			info.Levels = append(info.Levels, perf.LevelStats{
+				Level:                 round,
+				Direction:             "round",
+				MaxNodeProcessedBytes: maxProcessed,
+				MaxNodeSentBytes:      maxSent,
+				MaxNodeMessages:       maxMsgs,
+				ModuleInvocations:     maxBatches,
+				Net:                   after.Sub(before),
+				Rounds:                rounds,
+			})
+			mu.Unlock()
+		}
+	}
+}

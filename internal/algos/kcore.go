@@ -1,0 +1,143 @@
+package algos
+
+import (
+	"fmt"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+// kcoreNode runs distributed k-core peeling: vertices with effective degree
+// below k are removed in rounds; each removal sends one decrement per
+// incident edge (dynamically generated shuffle data, again). The fixpoint
+// is the k-core: the maximal subgraph where every vertex keeps degree >= k.
+type kcoreNode struct {
+	ctx     *NodeCtx
+	k       int64
+	alive   []bool
+	effdeg  []int64
+	dec     []int64
+	removal []int64 // local indices scheduled for removal this round
+}
+
+// KCoreResult is the merged output.
+type KCoreResult struct {
+	// InCore[v] reports membership in the k-core.
+	InCore []bool
+	Info   *RunInfo
+	// CoreSize counts members.
+	CoreSize int64
+}
+
+// KCore computes the k-core of g on the simulated machine.
+func KCore(cfg core.Config, g *graph.CSR, k int64) (*KCoreResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("algos: k must be >= 1, got %d", k)
+	}
+	nodes := make([]*kcoreNode, cfg.Nodes)
+	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+		n := ctx.Sub.NumVertices()
+		kn := &kcoreNode{
+			ctx:    ctx,
+			k:      k,
+			alive:  make([]bool, n),
+			effdeg: make([]int64, n),
+			dec:    make([]int64, n),
+		}
+		for local := int64(0); local < n; local++ {
+			kn.alive[local] = true
+			kn.effdeg[local] = ctx.Sub.Degree(local)
+			if kn.effdeg[local] < k {
+				kn.removal = append(kn.removal, local)
+			}
+		}
+		nodes[ctx.ID] = kn
+		return kn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &KCoreResult{InCore: make([]bool, g.N), Info: info}
+	part := graph.NewRoundRobin(g.N, cfg.Nodes)
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		in := nodes[part.Owner(v)].alive[part.Local(v)]
+		res.InCore[v] = in
+		if in {
+			res.CoreSize++
+		}
+	}
+	return res, nil
+}
+
+func (kn *kcoreNode) Active() int64 { return int64(len(kn.removal)) }
+
+func (kn *kcoreNode) Generate(round int, send Send) error {
+	for _, local := range kn.removal {
+		kn.alive[local] = false
+		for _, u := range kn.ctx.Sub.Neighbors(local) {
+			if err := send(kn.ctx.Part.Owner(u), comm.Pair{u, 1}); err != nil {
+				return err
+			}
+		}
+	}
+	kn.removal = kn.removal[:0]
+	return nil
+}
+
+func (kn *kcoreNode) Handle(round int, pairs []comm.Pair) error {
+	for _, p := range pairs {
+		kn.dec[kn.ctx.Part.Local(p[0])]++
+	}
+	return nil
+}
+
+func (kn *kcoreNode) EndRound(round int) error {
+	for local := range kn.dec {
+		if kn.dec[local] == 0 {
+			continue
+		}
+		if kn.alive[local] {
+			before := kn.effdeg[local]
+			kn.effdeg[local] -= kn.dec[local]
+			// Schedule exactly on the downward crossing; vertices already
+			// queued (below k but still alive) must not be queued twice.
+			if before >= kn.k && kn.effdeg[local] < kn.k {
+				kn.removal = append(kn.removal, int64(local))
+			}
+		}
+		kn.dec[local] = 0
+	}
+	return nil
+}
+
+// ReferenceKCore is the sequential peeling oracle.
+func ReferenceKCore(g *graph.CSR, k int64) []bool {
+	alive := make([]bool, g.N)
+	deg := make([]int64, g.N)
+	queue := make([]graph.Vertex, 0)
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+		if deg[v] < k {
+			queue = append(queue, v)
+			alive[v] = false
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if !alive[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] < k {
+				alive[u] = false
+				queue = append(queue, u)
+			}
+		}
+	}
+	return alive
+}

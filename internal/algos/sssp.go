@@ -1,0 +1,205 @@
+package algos
+
+import (
+	"fmt"
+	"math"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+// InfDistance marks unreachable vertices in SSSP output.
+const InfDistance = int64(math.MaxInt64 / 4)
+
+// ssspNode is one node's Bellman-Ford state: frontier-driven relaxation,
+// the distributed analogue of the BFS Forward Generator/Handler pair with
+// (vertex, tentative distance) messages instead of (parent, child).
+type ssspNode struct {
+	ctx     *NodeCtx
+	weights []int64 // aligned with ctx.Sub.Col
+	dist    []int64
+	active  *graph.Bitmap
+	pending int64
+}
+
+// SSSPResult is the merged output.
+type SSSPResult struct {
+	Dist []int64
+	Info *RunInfo
+	// Relaxations counts edge relaxations performed (the TEPS numerator).
+	Relaxations int64
+}
+
+// SSSP computes single-source shortest paths on the simulated machine.
+func SSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex) (*SSSPResult, error) {
+	if root < 0 || int64(root) >= wg.N {
+		return nil, fmt.Errorf("algos: SSSP root %d out of range", root)
+	}
+	nodes := make([]*ssspNode, cfg.Nodes)
+	info, err := Run(cfg, wg.CSR, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+		n := ctx.Sub.NumVertices()
+		sn := &ssspNode{
+			ctx:     ctx,
+			weights: extractLocalWeights(wg, ctx),
+			dist:    make([]int64, n),
+			active:  graph.NewBitmap(n),
+		}
+		for i := range sn.dist {
+			sn.dist[i] = InfDistance
+		}
+		if ctx.Part.Owner(root) == ctx.ID {
+			local := ctx.Part.Local(root)
+			sn.dist[local] = 0
+			sn.active.Set(local)
+			sn.pending = 1
+		}
+		nodes[ctx.ID] = sn
+		return sn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SSSPResult{Dist: make([]int64, wg.N), Info: info}
+	part := graph.NewRoundRobin(wg.N, cfg.Nodes)
+	for v := graph.Vertex(0); int64(v) < wg.N; v++ {
+		res.Dist[v] = nodes[part.Owner(v)].dist[part.Local(v)]
+	}
+	for _, sn := range nodes {
+		res.Relaxations += sn.relaxations()
+	}
+	return res, nil
+}
+
+func (s *ssspNode) Active() int64 { return s.pending }
+
+func (s *ssspNode) Generate(round int, send Send) error {
+	var failed error
+	s.active.ForEach(func(local int64) {
+		if failed != nil {
+			return
+		}
+		d := s.dist[local]
+		lo, hi := s.ctx.Sub.RowPtr[local], s.ctx.Sub.RowPtr[local+1]
+		for i := lo; i < hi; i++ {
+			u := s.ctx.Sub.Col[i]
+			nd := d + s.weights[i]
+			if err := send(s.ctx.Part.Owner(u), comm.Pair{u, graph.Vertex(nd)}); err != nil {
+				failed = err
+				return
+			}
+		}
+	})
+	s.active.Reset()
+	s.pending = 0
+	return failed
+}
+
+func (s *ssspNode) Handle(round int, pairs []comm.Pair) error {
+	for _, p := range pairs {
+		u, nd := p[0], int64(p[1])
+		local := s.ctx.Part.Local(u)
+		if nd < s.dist[local] {
+			s.dist[local] = nd
+			if !s.active.Get(local) {
+				s.active.Set(local)
+				s.pending++
+			}
+		}
+	}
+	return nil
+}
+
+func (s *ssspNode) EndRound(round int) error { return nil }
+
+func (s *ssspNode) relaxations() int64 {
+	// Each settled vertex relaxed its out-edges at least once; use the
+	// degree sum of reached vertices as the conventional TEPS numerator.
+	var r int64
+	for local := int64(0); local < s.ctx.Sub.NumVertices(); local++ {
+		if s.dist[local] < InfDistance {
+			r += s.ctx.Sub.Degree(local)
+		}
+	}
+	return r
+}
+
+// extractLocalWeights aligns the weighted graph's edge weights with a
+// node's LocalSubgraph storage.
+func extractLocalWeights(wg *graph.WeightedCSR, ctx *NodeCtx) []int64 {
+	out := make([]int64, 0, ctx.Sub.NumEdges())
+	for local := int64(0); local < ctx.Sub.NumVertices(); local++ {
+		v := ctx.Global(local)
+		lo, hi := wg.RowPtr[v], wg.RowPtr[v+1]
+		out = append(out, wg.Weights.W[lo:hi]...)
+	}
+	return out
+}
+
+// ReferenceSSSP is the sequential Dijkstra oracle.
+func ReferenceSSSP(wg *graph.WeightedCSR, root graph.Vertex) []int64 {
+	dist := make([]int64, wg.N)
+	for i := range dist {
+		dist[i] = InfDistance
+	}
+	if root < 0 || int64(root) >= wg.N {
+		return dist
+	}
+	dist[root] = 0
+	// Binary heap of (dist, vertex).
+	type item struct {
+		d int64
+		v graph.Vertex
+	}
+	heap := []item{{0, root}}
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < last && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		lo, hi := wg.RowPtr[it.v], wg.RowPtr[it.v+1]
+		for i := lo; i < hi; i++ {
+			u := wg.Col[i]
+			nd := it.d + wg.Weights.W[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				push(item{nd, u})
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,141 @@
+package algos
+
+import (
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+// wccNode runs min-label propagation: every vertex starts labelled with its
+// own ID; active vertices broadcast their label to neighbours; receivers
+// keep the minimum. At convergence each vertex carries the smallest vertex
+// ID of its component — deterministic regardless of message order.
+type wccNode struct {
+	ctx     *NodeCtx
+	label   []graph.Vertex
+	active  *graph.Bitmap
+	pending int64
+}
+
+// WCCResult is the merged output.
+type WCCResult struct {
+	// Label[v] is the smallest vertex ID in v's component.
+	Label []graph.Vertex
+	Info  *RunInfo
+	// Components counts distinct components (including singletons).
+	Components int64
+}
+
+// WCC computes weakly connected components on the simulated machine.
+func WCC(cfg core.Config, g *graph.CSR) (*WCCResult, error) {
+	nodes := make([]*wccNode, cfg.Nodes)
+	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+		n := ctx.Sub.NumVertices()
+		wn := &wccNode{
+			ctx:    ctx,
+			label:  make([]graph.Vertex, n),
+			active: graph.NewBitmap(n),
+		}
+		for local := int64(0); local < n; local++ {
+			wn.label[local] = ctx.Global(local)
+			if ctx.Sub.Degree(local) > 0 {
+				wn.active.Set(local)
+				wn.pending++
+			}
+		}
+		nodes[ctx.ID] = wn
+		return wn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WCCResult{Label: make([]graph.Vertex, g.N), Info: info}
+	part := graph.NewRoundRobin(g.N, cfg.Nodes)
+	seen := make(map[graph.Vertex]struct{})
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		l := nodes[part.Owner(v)].label[part.Local(v)]
+		res.Label[v] = l
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			res.Components++
+		}
+	}
+	return res, nil
+}
+
+func (w *wccNode) Active() int64 { return w.pending }
+
+func (w *wccNode) Generate(round int, send Send) error {
+	var failed error
+	w.active.ForEach(func(local int64) {
+		if failed != nil {
+			return
+		}
+		l := w.label[local]
+		for _, u := range w.ctx.Sub.Neighbors(local) {
+			if err := send(w.ctx.Part.Owner(u), comm.Pair{u, l}); err != nil {
+				failed = err
+				return
+			}
+		}
+	})
+	w.active.Reset()
+	w.pending = 0
+	return failed
+}
+
+func (w *wccNode) Handle(round int, pairs []comm.Pair) error {
+	for _, p := range pairs {
+		u, l := p[0], p[1]
+		local := w.ctx.Part.Local(u)
+		if l < w.label[local] {
+			w.label[local] = l
+			if !w.active.Get(local) {
+				w.active.Set(local)
+				w.pending++
+			}
+		}
+	}
+	return nil
+}
+
+func (w *wccNode) EndRound(round int) error { return nil }
+
+// ReferenceWCC is the sequential union-find oracle; it returns the same
+// min-ID-of-component labelling the distributed algorithm converges to.
+func ReferenceWCC(g *graph.CSR) []graph.Vertex {
+	parent := make([]graph.Vertex, g.N)
+	for i := range parent {
+		parent[i] = graph.Vertex(i)
+	}
+	var find func(v graph.Vertex) graph.Vertex
+	find = func(v graph.Vertex) graph.Vertex {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b graph.Vertex) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb { // keep the smaller ID as root
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for u := graph.Vertex(0); int64(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			union(u, v)
+		}
+	}
+	labels := make([]graph.Vertex, g.N)
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		labels[v] = find(v)
+	}
+	return labels
+}

@@ -1,0 +1,131 @@
+// Package comm is the message-passing layer of the simulated machine: an
+// MPI-like transport between simulated nodes, offered in two flavours —
+// Direct (every pair of nodes converses directly, the baseline the paper
+// measures against) and Relay (the paper's group-based message batching,
+// Section 4.4: nodes form an N x M matrix, messages travel source ->
+// relay-in-source-column-and-destination-row -> destination, batched per
+// group).
+//
+// The package also provides the collectives the BFS needs (sum-allreduce
+// for frontier accounting and direction choice, OR-allgather for hub
+// frontier bitmaps with the paper's empty-flag shortcut) and the MPI
+// connection-memory accounting (100 KB per connection) whose exhaustion
+// kills direct all-to-all messaging at scale.
+package comm
+
+import (
+	"fmt"
+
+	"swbfs/internal/graph"
+)
+
+// Channel separates the two independent message streams of a BFS level.
+// Top-down levels use only ChanForward; bottom-up levels run ChanBackward
+// queries whose replies flow on ChanForward.
+type Channel uint8
+
+const (
+	// ChanForward carries (parent, child) discovery messages.
+	ChanForward Channel = iota
+	// ChanBackward carries bottom-up parent queries.
+	ChanBackward
+	numChannels
+)
+
+func (c Channel) String() string {
+	switch c {
+	case ChanForward:
+		return "forward"
+	case ChanBackward:
+		return "backward"
+	default:
+		return fmt.Sprintf("channel(%d)", int(c))
+	}
+}
+
+// Kind tags the wire format of a Batch.
+type Kind uint8
+
+const (
+	// KindData carries vertex pairs to their final destination.
+	KindData Kind = iota
+	// KindEnd marks that a sender (or relay) has finished a channel for
+	// the level. Termination indicators are exactly the per-pair small
+	// messages the paper calls out as a scaling hazard.
+	KindEnd
+	// KindRelayData is a stage-one envelope: inner batches for multiple
+	// destinations within one destination group, sent to the relay node.
+	KindRelayData
+	// KindRelayEnd tells a relay that a source column peer has finished a
+	// channel.
+	KindRelayEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindEnd:
+		return "end"
+	case KindRelayData:
+		return "relay-data"
+	case KindRelayEnd:
+		return "relay-end"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pair is one BFS message: (u, v) with semantics depending on the channel —
+// forward: u discovered v, u is the candidate parent; backward: unvisited u
+// asks whether v (its neighbour) is in the current frontier.
+type Pair [2]graph.Vertex
+
+// PairBytes is the wire size of one Pair (two 64-bit vertices).
+const PairBytes = 16
+
+// batchHeaderBytes models the per-message envelope (kind, channel, source,
+// level, length) — the fixed cost that makes tiny messages wasteful.
+const batchHeaderBytes = 16
+
+// Batch is the unit of transport.
+type Batch struct {
+	Kind    Kind
+	Channel Channel
+	Src     int
+	Dst     int
+	Level   int
+	Pairs   []Pair
+	Inner   []Batch // only for KindRelayData
+}
+
+// ByteSize returns the modelled wire size of the batch.
+func (b *Batch) ByteSize() int64 {
+	size := int64(batchHeaderBytes) + int64(len(b.Pairs))*PairBytes
+	for i := range b.Inner {
+		size += b.Inner[i].ByteSize()
+	}
+	return size
+}
+
+// EventType classifies what Recv returned.
+type EventType uint8
+
+const (
+	// EvData delivers a data batch to the module layer.
+	EvData EventType = iota
+	// EvChannelClosed reports that every peer finished the given channel
+	// for the current level; emitted exactly once per open channel.
+	EvChannelClosed
+	// EvError reports a transport failure (e.g. simulated MPI memory
+	// exhaustion while relaying); the run must abort.
+	EvError
+)
+
+// Event is one Recv result.
+type Event struct {
+	Type    EventType
+	Channel Channel
+	Batch   Batch // valid for EvData
+	Err     error // valid for EvError
+}

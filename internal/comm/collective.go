@@ -1,0 +1,182 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// collectiveGroup implements the blocking collectives of the simulated
+// machine: a sum-allreduce (frontier accounting, direction policy) and an
+// OR-allgather (hub frontier bitmaps). All nodes must call the same
+// sequence of collective operations (SPMD), like MPI.
+//
+// Traffic accounting: the allreduce is modelled as a reduction tree
+// (2 * 8 bytes * P total); the allgather as a ring where each node's
+// contribution crosses P-1 links. The paper's "reduce global
+// communication" optimization — gathering a one-byte empty flag instead of
+// a hub bitmap when a node's hub frontier is empty — enters through the
+// per-node payload size.
+type collectiveGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	net  *Network
+
+	gen   int64
+	count int
+
+	sum     int64
+	lastSum int64
+
+	max     int64
+	lastMax int64
+
+	orAcc  []uint64
+	lastOr []uint64
+
+	payloadBytes int64
+
+	aborted bool
+}
+
+// abort wakes every waiter; subsequent and in-flight collectives return
+// zero values immediately. Callers observe the failure via Network.Aborted.
+func (g *collectiveGroup) abort() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.aborted = true
+	g.cond.Broadcast()
+}
+
+func (g *collectiveGroup) isAborted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aborted
+}
+
+func newCollectiveGroup(net *Network) *collectiveGroup {
+	g := &collectiveGroup{net: net}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// AllreduceSum returns the sum of every node's contribution. Blocks until
+// all nodes arrive.
+func (n *Network) AllreduceSum(value int64) int64 {
+	g := n.coll
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.aborted {
+		return 0
+	}
+	gen := g.gen
+	g.sum += value
+	g.count++
+	if g.count == n.Nodes() {
+		g.lastSum = g.sum
+		g.sum = 0
+		g.count = 0
+		g.gen++
+		// Tree reduce + broadcast: 8 bytes up and down per node.
+		n.Counters.RecordCollective(int64(16 * n.Nodes()))
+		g.cond.Broadcast()
+		return g.lastSum
+	}
+	for gen == g.gen && !g.aborted {
+		g.cond.Wait()
+	}
+	if g.aborted {
+		return 0
+	}
+	return g.lastSum
+}
+
+// AllreduceMax returns the maximum of every node's contribution. Blocks
+// until all nodes arrive. Used for critical-path statistics (the slowest
+// node bounds the level time).
+func (n *Network) AllreduceMax(value int64) int64 {
+	g := n.coll
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.aborted {
+		return 0
+	}
+	gen := g.gen
+	if g.count == 0 || value > g.max {
+		g.max = value
+	}
+	g.count++
+	if g.count == n.Nodes() {
+		g.lastMax = g.max
+		g.max = 0
+		g.count = 0
+		g.gen++
+		n.Counters.RecordCollective(int64(16 * n.Nodes()))
+		g.cond.Broadcast()
+		return g.lastMax
+	}
+	for gen == g.gen && !g.aborted {
+		g.cond.Wait()
+	}
+	if g.aborted {
+		return 0
+	}
+	return g.lastMax
+}
+
+// Barrier blocks until every node arrives.
+func (n *Network) Barrier() { n.AllreduceSum(0) }
+
+// AllgatherOr ORs every node's bitmap words together and returns the
+// result to all nodes. Contributions must have equal length across nodes
+// (or be nil). When emptyOptimized is true and the contribution is nil,
+// only a one-byte flag is charged to the network — the paper's
+// global-communication reduction for empty hub frontiers.
+func (n *Network) AllgatherOr(words []uint64, emptyOptimized bool) ([]uint64, error) {
+	g := n.coll
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.aborted {
+		return nil, nil
+	}
+	gen := g.gen
+
+	if words != nil {
+		if g.orAcc == nil {
+			g.orAcc = make([]uint64, len(words))
+		}
+		if len(g.orAcc) != len(words) {
+			err := fmt.Errorf("comm: allgather length mismatch: %d vs %d", len(words), len(g.orAcc))
+			// Poison the generation so peers do not hang with a
+			// half-completed collective.
+			panic(err)
+		}
+		for i, w := range words {
+			g.orAcc[i] |= w
+		}
+	}
+	if words == nil && emptyOptimized {
+		g.payloadBytes++
+	} else {
+		g.payloadBytes += int64(len(words)) * 8
+	}
+	g.count++
+
+	if g.count == n.Nodes() {
+		g.lastOr = g.orAcc
+		g.orAcc = nil
+		g.count = 0
+		g.gen++
+		// Ring allgather: each contribution crosses P-1 links.
+		n.Counters.RecordCollective(g.payloadBytes * int64(n.Nodes()-1))
+		g.payloadBytes = 0
+		g.cond.Broadcast()
+		return g.lastOr, nil
+	}
+	for gen == g.gen && !g.aborted {
+		g.cond.Wait()
+	}
+	if g.aborted {
+		return nil, nil
+	}
+	return g.lastOr, nil
+}

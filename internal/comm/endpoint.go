@@ -1,0 +1,185 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Endpoint is one simulated node's MPI rank. Send-side methods (Send,
+// CloseChannel) and the recv side (Recv) may be driven by different module
+// goroutines, mirroring the paper's dedicated send and receive MPEs (M0 and
+// M1 in Figure 4).
+type Endpoint interface {
+	// Node returns the rank.
+	Node() int
+	// StartLevel opens a BFS level with the given active channels.
+	StartLevel(level int, channels ...Channel)
+	// Send queues pairs for dst on a channel; the transport batches and
+	// flushes by threshold. An error means the simulated machine failed
+	// (e.g. MPI connection memory exhaustion).
+	Send(ch Channel, dst int, pairs ...Pair) error
+	// CloseChannel flushes pending sends on the channel and emits the
+	// end-of-channel markers.
+	CloseChannel(ch Channel) error
+	// Recv blocks for the next event: a data batch, a channel-closed
+	// notification (once per open channel), or a transport error.
+	Recv() Event
+	// Mode names the transport for reports ("direct" or "relay").
+	Mode() string
+}
+
+func init() {
+	// numChannels is the array bound below; keep them in sync.
+	if numChannels != 2 {
+		panic("comm: channel count changed; update endpoint state arrays")
+	}
+}
+
+// sendState is the shared send-side batching state.
+type sendState struct {
+	mu    sync.Mutex
+	level int
+	// pending[ch][key] accumulates pairs for a destination (direct) or a
+	// destination group (relay).
+	pending [numChannels]map[int][]Pair
+	bytes   [numChannels]map[int]int64
+}
+
+func (s *sendState) start(level int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.level = level
+	for ch := range s.pending {
+		s.pending[ch] = make(map[int][]Pair)
+		s.bytes[ch] = make(map[int]int64)
+	}
+}
+
+// add buffers pairs under key and reports whether the buffer crossed the
+// threshold; if so it returns the drained pairs for flushing.
+func (s *sendState) add(ch Channel, key int, pairs []Pair, threshold int64) ([]Pair, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[ch][key] = append(s.pending[ch][key], pairs...)
+	s.bytes[ch][key] += int64(len(pairs)) * PairBytes
+	if s.bytes[ch][key] < threshold {
+		return nil, false
+	}
+	drained := s.pending[ch][key]
+	delete(s.pending[ch], key)
+	delete(s.bytes[ch], key)
+	return drained, true
+}
+
+// drainAll removes and returns every pending buffer of a channel.
+func (s *sendState) drainAll(ch Channel) map[int][]Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending[ch]
+	s.pending[ch] = make(map[int][]Pair)
+	s.bytes[ch] = make(map[int]int64)
+	return out
+}
+
+// DirectEndpoint implements all-pairs messaging: every batch goes straight
+// to its destination, and every node exchanges end-of-channel markers with
+// every other node — Theta(P^2) termination messages machine-wide, the
+// baseline behaviour of Figure 11's "Direct" lines.
+type DirectEndpoint struct {
+	net  *Network
+	node int
+	send sendState
+
+	level int
+	ends  [numChannels]int
+	open  [numChannels]bool
+}
+
+// NewDirectEndpoint creates the rank for `node`.
+func NewDirectEndpoint(net *Network, node int) *DirectEndpoint {
+	return &DirectEndpoint{net: net, node: node}
+}
+
+func (e *DirectEndpoint) Node() int    { return e.node }
+func (e *DirectEndpoint) Mode() string { return "direct" }
+
+// StartLevel implements Endpoint.
+func (e *DirectEndpoint) StartLevel(level int, channels ...Channel) {
+	e.level = level
+	e.send.start(level)
+	for ch := range e.ends {
+		e.ends[ch] = 0
+		e.open[ch] = false
+	}
+	for _, ch := range channels {
+		e.open[ch] = true
+	}
+}
+
+// Send implements Endpoint.
+func (e *DirectEndpoint) Send(ch Channel, dst int, pairs ...Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	drained, full := e.send.add(ch, dst, pairs, e.net.BatchBytes())
+	if !full {
+		return nil
+	}
+	return e.net.deliver(Batch{
+		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: drained,
+	})
+}
+
+// CloseChannel implements Endpoint: flush everything, then send one end
+// marker to every node (including self, a free loopback).
+func (e *DirectEndpoint) CloseChannel(ch Channel) error {
+	for dst, pairs := range e.send.drainAll(ch) {
+		if len(pairs) == 0 {
+			continue
+		}
+		err := e.net.deliver(Batch{
+			Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for dst := 0; dst < e.net.Nodes(); dst++ {
+		err := e.net.deliver(Batch{
+			Kind: KindEnd, Channel: ch, Src: e.node, Dst: dst, Level: e.level,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *DirectEndpoint) Recv() Event {
+	for {
+		b, ok := e.net.inboxes[e.node].Pop()
+		if !ok {
+			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level", e.node)}
+		}
+		if b.Level != e.level {
+			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
+				e.node, b.Level, b.Kind, e.level))
+		}
+		switch b.Kind {
+		case KindData:
+			return Event{Type: EvData, Channel: b.Channel, Batch: b}
+		case KindEnd:
+			if !e.open[b.Channel] {
+				panic(fmt.Sprintf("comm: node %d got end for closed channel %s", e.node, b.Channel))
+			}
+			e.ends[b.Channel]++
+			if e.ends[b.Channel] == e.net.Nodes() {
+				e.open[b.Channel] = false
+				return Event{Type: EvChannelClosed, Channel: b.Channel}
+			}
+		default:
+			panic(fmt.Sprintf("comm: direct endpoint got %s batch", b.Kind))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package comm
+
+import "sync"
+
+// Inbox is an unbounded MPSC queue of batches. Unbounded buffering mirrors
+// eager MPI messaging (the sender never blocks on the receiver) and makes
+// the functional simulation immune to channel-capacity deadlocks — the
+// real machine's deadlock hazards live on the register mesh (modelled in
+// internal/sw), not in MPI.
+type Inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Batch
+	head   int
+	closed bool
+}
+
+// NewInbox returns an empty open inbox.
+func NewInbox() *Inbox {
+	in := &Inbox{}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// Push enqueues a batch. Pushes to a closed inbox are dropped: closure
+// models the simulated job tearing down (e.g. after an MPI memory crash),
+// when in-flight traffic goes nowhere.
+func (in *Inbox) Push(b Batch) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.queue = append(in.queue, b)
+	in.cond.Signal()
+}
+
+// Pop dequeues the next batch, blocking until one is available or the inbox
+// is closed. The second result is false when the inbox is closed and
+// drained.
+func (in *Inbox) Pop() (Batch, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.head == len(in.queue) && !in.closed {
+		in.cond.Wait()
+	}
+	if in.head == len(in.queue) {
+		return Batch{}, false
+	}
+	b := in.queue[in.head]
+	in.queue[in.head] = Batch{} // release references
+	in.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1) pops.
+	if in.head > 64 && in.head*2 >= len(in.queue) {
+		n := copy(in.queue, in.queue[in.head:])
+		for i := n; i < len(in.queue); i++ {
+			in.queue[i] = Batch{}
+		}
+		in.queue = in.queue[:n]
+		in.head = 0
+	}
+	return b, true
+}
+
+// Close wakes all blocked consumers; subsequent Pops drain the queue then
+// report closure.
+func (in *Inbox) Close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.closed = true
+	in.cond.Broadcast()
+}
+
+// Len reports the queued batch count (for tests and diagnostics).
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue) - in.head
+}

@@ -1,0 +1,210 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"swbfs/internal/fabric"
+)
+
+// atomicInt64 aliases the stdlib atomic counter (named for struct-field
+// readability).
+type atomicInt64 = atomic.Int64
+
+// MPI resource model from Sections 3.3 and 4.4.
+const (
+	// MPIConnectionBytes is the memory one MPI connection pins ("every
+	// connection uses 100 KB memory due to the MPI library").
+	MPIConnectionBytes = 100 << 10
+
+	// DefaultMPIMemoryBudget caps the per-node MPI buffer memory. The
+	// paper's Direct-MPE runs survive 4,096 peers (~400 MB) and crash at
+	// 16,384 (~1.6 GB) from "memory exhaust caused by too many MPI
+	// connections"; a 1 GB budget reproduces that crash point.
+	DefaultMPIMemoryBudget = int64(1) << 30
+
+	// DefaultBatchBytes is the flush threshold for send-side batching: a
+	// buffer is transmitted once it reaches this many bytes. 64 KB keeps
+	// the fixed per-message costs negligible, per the paper's "maximize
+	// the utilization of both memory and network bandwidth by batching".
+	DefaultBatchBytes = 64 << 10
+)
+
+// ErrConnMemory reports per-node MPI connection memory exhaustion — the
+// crash the paper observes for direct messaging at 16,384 nodes.
+type ErrConnMemory struct {
+	Node        int
+	Connections int
+	Budget      int64
+}
+
+func (e *ErrConnMemory) Error() string {
+	return fmt.Sprintf("comm: node %d exhausted MPI memory: %d connections x %d B > budget %d B",
+		e.Node, e.Connections, MPIConnectionBytes, e.Budget)
+}
+
+// Config configures a simulated network.
+type Config struct {
+	Nodes int
+	// SuperNodeSize scales the fat tree (defaults to the machine's 256).
+	SuperNodeSize int
+	// BatchBytes is the send-buffer flush threshold (DefaultBatchBytes if
+	// zero).
+	BatchBytes int64
+	// MPIMemoryBudget is the per-node connection memory cap
+	// (DefaultMPIMemoryBudget if zero).
+	MPIMemoryBudget int64
+	// Codec compresses data payloads on the wire (nil = RawCodec). Only
+	// the accounted traffic changes; delivery is lossless.
+	Codec Codec
+}
+
+// Network owns the inboxes, traffic counters and connection tracking of a
+// set of simulated nodes. Endpoints (direct or relay) are created per node.
+type Network struct {
+	Topo     fabric.Topology
+	Counters *fabric.Counters
+
+	batchBytes int64
+	budget     int64
+	codec      Codec
+
+	inboxes []*Inbox
+
+	connMu sync.Mutex
+	conns  []map[int]struct{}
+
+	// Per-node sent network message/byte counters (atomic; indexed by
+	// source node), feeding the per-node critical-path statistics.
+	nodeMsgs  []atomicInt64
+	nodeBytes []atomicInt64
+
+	coll *collectiveGroup
+}
+
+// NewNetwork builds the shared state for cfg.Nodes simulated nodes.
+func NewNetwork(cfg Config) (*Network, error) {
+	topo, err := fabric.NewTopology(cfg.Nodes, cfg.SuperNodeSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = DefaultBatchBytes
+	}
+	if cfg.BatchBytes < PairBytes {
+		return nil, fmt.Errorf("comm: batch threshold %d below one pair", cfg.BatchBytes)
+	}
+	if cfg.MPIMemoryBudget == 0 {
+		cfg.MPIMemoryBudget = DefaultMPIMemoryBudget
+	}
+	n := &Network{
+		Topo:       topo,
+		Counters:   &fabric.Counters{},
+		batchBytes: cfg.BatchBytes,
+		budget:     cfg.MPIMemoryBudget,
+		inboxes:    make([]*Inbox, cfg.Nodes),
+		conns:      make([]map[int]struct{}, cfg.Nodes),
+		nodeMsgs:   make([]atomicInt64, cfg.Nodes),
+		nodeBytes:  make([]atomicInt64, cfg.Nodes),
+		codec:      cfg.Codec,
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = NewInbox()
+		n.conns[i] = make(map[int]struct{})
+	}
+	n.coll = newCollectiveGroup(n)
+	return n, nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.Topo.Nodes }
+
+// BatchBytes returns the flush threshold.
+func (n *Network) BatchBytes() int64 { return n.batchBytes }
+
+// deliver transmits a batch: establishes the MPI connection (with budget
+// enforcement), records the traffic and enqueues at the destination.
+func (n *Network) deliver(b Batch) error {
+	if b.Dst < 0 || b.Dst >= n.Nodes() {
+		return fmt.Errorf("comm: delivery to invalid node %d", b.Dst)
+	}
+	class := n.Topo.Classify(b.Src, b.Dst)
+	wire := n.wireSize(&b)
+	if class != fabric.Loopback {
+		if err := n.connect(b.Src, b.Dst); err != nil {
+			return err
+		}
+		n.nodeMsgs[b.Src].Add(1)
+		n.nodeBytes[b.Src].Add(wire)
+	}
+	n.Counters.Record(class, wire)
+	n.inboxes[b.Dst].Push(b)
+	return nil
+}
+
+// NodeSent returns the network messages and bytes node has sent so far
+// (loopback excluded). Callers snapshot before/after a level for deltas.
+func (n *Network) NodeSent(node int) (msgs, bytes int64) {
+	return n.nodeMsgs[node].Load(), n.nodeBytes[node].Load()
+}
+
+// connect tracks the src->dst MPI connection and enforces the memory budget.
+func (n *Network) connect(src, dst int) error {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if _, ok := n.conns[src][dst]; ok {
+		return nil
+	}
+	n.conns[src][dst] = struct{}{}
+	count := len(n.conns[src])
+	if int64(count)*MPIConnectionBytes > n.budget {
+		return &ErrConnMemory{Node: src, Connections: count, Budget: n.budget}
+	}
+	return nil
+}
+
+// ConnectionCount returns the distinct peers the node has messaged.
+func (n *Network) ConnectionCount(node int) int {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	return len(n.conns[node])
+}
+
+// MaxConnectionCount returns the machine-wide maximum per-node connection
+// count — the number that drives MPI memory consumption.
+func (n *Network) MaxConnectionCount() int {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	max := 0
+	for _, c := range n.conns {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// ConnectionMemoryBytes returns the modelled MPI memory of the
+// worst-loaded node.
+func (n *Network) ConnectionMemoryBytes() int64 {
+	return int64(n.MaxConnectionCount()) * MPIConnectionBytes
+}
+
+// Close shuts every inbox (used on teardown and error paths).
+func (n *Network) Close() {
+	for _, in := range n.inboxes {
+		in.Close()
+	}
+}
+
+// Abort tears the simulated job down after a node-level failure: inboxes
+// close (blocked Recvs see EvError) and in-flight collectives wake with the
+// abort flag set, so no peer hangs waiting for a crashed rank.
+func (n *Network) Abort() {
+	n.Close()
+	n.coll.abort()
+}
+
+// Aborted reports whether Abort was called.
+func (n *Network) Aborted() bool { return n.coll.isAborted() }

@@ -1,0 +1,294 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupShape arranges P nodes as an N x M matrix (Figure 7): N groups
+// ("rows", mapped onto super nodes) of M nodes each. Node id = row*M + col.
+// The relay node of a (src, dst) message sits in the same row as dst and
+// the same column as src: relay = Row(dst)*M + Col(src).
+type GroupShape struct {
+	N int // groups (rows)
+	M int // nodes per group (columns)
+}
+
+// NewGroupShape validates an N x M arrangement for nodes = N*M.
+func NewGroupShape(nodes, m int) (GroupShape, error) {
+	if m <= 0 || nodes <= 0 {
+		return GroupShape{}, fmt.Errorf("comm: invalid group shape: %d nodes, M=%d", nodes, m)
+	}
+	if nodes%m != 0 {
+		return GroupShape{}, fmt.Errorf("comm: %d nodes not divisible into groups of %d", nodes, m)
+	}
+	return GroupShape{N: nodes / m, M: m}, nil
+}
+
+// DefaultGroupShape picks the group size for a node count: the super node
+// size when it divides the node count (the paper maps "each communication
+// group into the same super node"), otherwise the largest divisor not
+// exceeding it.
+func DefaultGroupShape(nodes, superSize int) GroupShape {
+	if superSize <= 0 {
+		superSize = 256
+	}
+	if nodes <= 0 {
+		return GroupShape{N: 1, M: 1}
+	}
+	best := 1
+	for m := 1; m <= superSize && m <= nodes; m++ {
+		if nodes%m == 0 {
+			best = m
+		}
+	}
+	return GroupShape{N: nodes / best, M: best}
+}
+
+// Nodes returns N*M.
+func (s GroupShape) Nodes() int { return s.N * s.M }
+
+// Row and Col decompose a node id.
+func (s GroupShape) Row(node int) int { return node / s.M }
+func (s GroupShape) Col(node int) int { return node % s.M }
+
+// Relay returns the relay node of a (src, dst) message.
+func (s GroupShape) Relay(src, dst int) int {
+	return s.Row(dst)*s.M + s.Col(src)
+}
+
+// MessagesPerNode returns the distinct peers a node messages under the
+// scheme: N stage-one relays (its column) plus M stage-two destinations
+// (its row), minus itself counted twice — the paper's (N + M - 1), down
+// from N*M for direct messaging.
+func (s GroupShape) MessagesPerNode() int { return s.N + s.M - 1 }
+
+// RelayEndpoint implements the group-based message batching transport.
+// Stage one: all pairs for a destination group are batched into one
+// envelope and sent to the relay node of that group in the sender's
+// column. Stage two: the relay shuffles envelopes per final destination
+// (the Forward/Backward Relay modules of Figure 10) and forwards batched
+// messages within its group.
+type RelayEndpoint struct {
+	net   *Network
+	node  int
+	shape GroupShape
+	send  sendState
+
+	level int
+	open  [numChannels]bool
+
+	// Destination-side termination: one end marker from each relay of the
+	// node's row.
+	ends [numChannels]int
+
+	// Relay-side state: per-destination buffers for stage two plus the
+	// count of stage-one end markers from the node's column.
+	relayBuf   [numChannels]map[int][]Pair
+	relayBytes [numChannels]map[int]int64
+	relayEnds  [numChannels]int
+
+	// relayedBytes counts pair bytes this node shuffled as a relay during
+	// the current level — the input volume of its Forward/Backward Relay
+	// modules (read by the same goroutine that runs Recv).
+	relayedBytes int64
+}
+
+// RelayedBytes reports the pair bytes relayed during the current level.
+// Call it from the handler goroutine after the level completes.
+func (e *RelayEndpoint) RelayedBytes() int64 { return e.relayedBytes }
+
+// NewRelayEndpoint creates the rank for `node` under the given shape.
+func NewRelayEndpoint(net *Network, node int, shape GroupShape) (*RelayEndpoint, error) {
+	if shape.Nodes() != net.Nodes() {
+		return nil, fmt.Errorf("comm: group shape %dx%d does not cover %d nodes",
+			shape.N, shape.M, net.Nodes())
+	}
+	return &RelayEndpoint{net: net, node: node, shape: shape}, nil
+}
+
+func (e *RelayEndpoint) Node() int    { return e.node }
+func (e *RelayEndpoint) Mode() string { return "relay" }
+
+// Shape exposes the group arrangement.
+func (e *RelayEndpoint) Shape() GroupShape { return e.shape }
+
+// StartLevel implements Endpoint.
+func (e *RelayEndpoint) StartLevel(level int, channels ...Channel) {
+	e.level = level
+	e.send.start(level)
+	for ch := range e.ends {
+		e.ends[ch] = 0
+		e.relayEnds[ch] = 0
+		e.open[ch] = false
+		e.relayBuf[ch] = make(map[int][]Pair)
+		e.relayBytes[ch] = make(map[int]int64)
+	}
+	for _, ch := range channels {
+		e.open[ch] = true
+	}
+	e.relayedBytes = 0
+}
+
+// Send implements Endpoint: pairs are buffered per destination *group* and
+// shipped to the group's relay when the batch threshold is reached.
+func (e *RelayEndpoint) Send(ch Channel, dst int, pairs ...Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	// The send buffer key packs (group, dst) so the stage-one envelope can
+	// be split per final destination without re-scanning; the flush
+	// threshold applies to the destination group's total (negative keys
+	// hold per-group byte totals).
+	group := e.shape.Row(dst)
+	key := group*e.net.Nodes() + dst
+	groupKey := -1 - group
+	e.send.mu.Lock()
+	e.send.pending[ch][key] = append(e.send.pending[ch][key], pairs...)
+	e.send.bytes[ch][key] += int64(len(pairs)) * PairBytes
+	e.send.bytes[ch][groupKey] += int64(len(pairs)) * PairBytes
+	flush := e.send.bytes[ch][groupKey] >= e.net.BatchBytes()
+	e.send.mu.Unlock()
+	if !flush {
+		return nil
+	}
+	return e.flushGroup(ch, group)
+}
+
+// flushGroup ships the stage-one envelope for one destination group.
+func (e *RelayEndpoint) flushGroup(ch Channel, group int) error {
+	e.send.mu.Lock()
+	var inner []Batch
+	for key, pairs := range e.send.pending[ch] {
+		if key < 0 || key/e.net.Nodes() != group || len(pairs) == 0 {
+			continue
+		}
+		dst := key % e.net.Nodes()
+		inner = append(inner, Batch{
+			Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
+		})
+		delete(e.send.pending[ch], key)
+		delete(e.send.bytes[ch], key)
+	}
+	delete(e.send.bytes[ch], -1-group)
+	e.send.mu.Unlock()
+	if len(inner) == 0 {
+		return nil
+	}
+	sort.Slice(inner, func(i, j int) bool { return inner[i].Dst < inner[j].Dst })
+	relay := e.shape.Relay(e.node, group*e.shape.M)
+	return e.net.deliver(Batch{
+		Kind: KindRelayData, Channel: ch, Src: e.node, Dst: relay, Level: e.level, Inner: inner,
+	})
+}
+
+// CloseChannel implements Endpoint: flush every group's envelope, then tell
+// every relay in the node's column that this source is done.
+func (e *RelayEndpoint) CloseChannel(ch Channel) error {
+	for group := 0; group < e.shape.N; group++ {
+		if err := e.flushGroup(ch, group); err != nil {
+			return err
+		}
+	}
+	col := e.shape.Col(e.node)
+	for row := 0; row < e.shape.N; row++ {
+		relay := row*e.shape.M + col
+		err := e.net.deliver(Batch{
+			Kind: KindRelayEnd, Channel: ch, Src: e.node, Dst: relay, Level: e.level,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements Endpoint. Besides delivering this node's own traffic, it
+// executes the node's relay duties: stage-one envelopes are shuffled into
+// per-destination buffers and forwarded in batches (the Relay modules); the
+// final flush happens when every source in the column has signalled done.
+func (e *RelayEndpoint) Recv() Event {
+	for {
+		b, ok := e.net.inboxes[e.node].Pop()
+		if !ok {
+			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level", e.node)}
+		}
+		if b.Level != e.level {
+			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
+				e.node, b.Level, b.Kind, e.level))
+		}
+		switch b.Kind {
+		case KindData:
+			return Event{Type: EvData, Channel: b.Channel, Batch: b}
+
+		case KindEnd:
+			if !e.open[b.Channel] {
+				panic(fmt.Sprintf("comm: node %d got end for closed channel %s", e.node, b.Channel))
+			}
+			e.ends[b.Channel]++
+			if e.ends[b.Channel] == e.shape.M {
+				e.open[b.Channel] = false
+				return Event{Type: EvChannelClosed, Channel: b.Channel}
+			}
+
+		case KindRelayData:
+			ch := b.Channel
+			for _, in := range b.Inner {
+				if e.shape.Row(in.Dst) != e.shape.Row(e.node) {
+					panic(fmt.Sprintf("comm: relay %d got envelope for node %d outside its row", e.node, in.Dst))
+				}
+				e.relayBuf[ch][in.Dst] = append(e.relayBuf[ch][in.Dst], in.Pairs...)
+				e.relayBytes[ch][in.Dst] += int64(len(in.Pairs)) * PairBytes
+				e.relayedBytes += int64(len(in.Pairs)) * PairBytes
+				if e.relayBytes[ch][in.Dst] >= e.net.BatchBytes() {
+					if err := e.relayFlush(ch, in.Dst); err != nil {
+						return Event{Type: EvError, Err: err}
+					}
+				}
+			}
+
+		case KindRelayEnd:
+			ch := b.Channel
+			e.relayEnds[ch]++
+			if e.relayEnds[ch] == e.shape.N {
+				// Every source in this column is done: flush residuals
+				// and mark the channel done for the whole row.
+				dsts := make([]int, 0, len(e.relayBuf[ch]))
+				for dst := range e.relayBuf[ch] {
+					dsts = append(dsts, dst)
+				}
+				sort.Ints(dsts)
+				for _, dst := range dsts {
+					if err := e.relayFlush(ch, dst); err != nil {
+						return Event{Type: EvError, Err: err}
+					}
+				}
+				row := e.shape.Row(e.node)
+				for col := 0; col < e.shape.M; col++ {
+					err := e.net.deliver(Batch{
+						Kind: KindEnd, Channel: ch, Src: e.node, Dst: row*e.shape.M + col, Level: e.level,
+					})
+					if err != nil {
+						return Event{Type: EvError, Err: err}
+					}
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("comm: relay endpoint got unknown kind %d", b.Kind))
+		}
+	}
+}
+
+// relayFlush ships one buffered stage-two batch.
+func (e *RelayEndpoint) relayFlush(ch Channel, dst int) error {
+	pairs := e.relayBuf[ch][dst]
+	if len(pairs) == 0 {
+		return nil
+	}
+	delete(e.relayBuf[ch], dst)
+	delete(e.relayBytes[ch], dst)
+	return e.net.deliver(Batch{
+		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
+	})
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/graph"
+	"swbfs/internal/sw"
+)
+
+// nodeState is one simulated compute node of the machine. Its fields split
+// into module domains matching the pipelined module mapping: the generator
+// modules (Forward/Backward Generator) run on one goroutine, the handler
+// modules (Forward/Backward Handler, plus the transparent Relay modules
+// inside the relay endpoint) on another — each goroutine standing in for a
+// CPE cluster dispatched by the node's MPEs.
+type nodeState struct {
+	id int
+	r  *Runner
+
+	sub *graph.LocalSubgraph
+
+	// parent is indexed by local vertex; accessed with atomics because the
+	// handler publishes discoveries while the bottom-up generator scans
+	// for unvisited vertices. NoVertex (-1) means undiscovered.
+	parent []int64
+
+	// curr is the current frontier (local indices, read-only during a
+	// level). next collects handler discoveries; genNext collects the
+	// generator's local hub claims and is merged after the level joins —
+	// the two bitmaps keep each writer single-threaded, the same
+	// contention-free discipline the CPE consumers follow.
+	curr, next, genNext *graph.Bitmap
+
+	ep comm.Endpoint
+
+	// policyReplica is this node's private copy of the direction policy
+	// state machine (node 0 uses the runner's authoritative one); all
+	// replicas see identical allreduced inputs and stay in lock step.
+	policyReplica *Policy
+
+	localEdges int64
+	// visitedDeg accumulates the degrees of locally visited vertices, for
+	// the mu (unexplored edges) statistic of the direction policy.
+	visitedDeg int64
+
+	// Per-level statistics; generator-owned and handler-owned fields are
+	// separate so the two module goroutines never share a counter.
+	genBytes       int64 // generator module input (scanned edges)
+	genInvocations int64 // generator CPE-cluster dispatches
+	handlerBytes   int64 // handler module input (received pairs)
+	hFwdBytes      int64 // Forward Handler share of handlerBytes
+	hBwdBytes      int64 // Backward Handler share of handlerBytes
+	relayBytes     int64 // Forward/Backward Relay module input (relay transport)
+	hInvocations   int64 // handler CPE-cluster dispatches (batches >= 1 KB)
+	smallBatches   int64 // sub-1 KB batches fast-pathed on the MPE
+}
+
+// invocations sums the module dispatches of the level; call only after the
+// module goroutines have joined.
+func (ns *nodeState) invocations() int64 { return ns.genInvocations + ns.hInvocations }
+
+func (ns *nodeState) parentOf(local int64) graph.Vertex {
+	return graph.Vertex(atomic.LoadInt64(&ns.parent[local]))
+}
+
+// claim publishes `u` as the parent of local vertex `local` if it is still
+// undiscovered; it reports whether this call won the race.
+func (ns *nodeState) claim(local int64, u graph.Vertex) bool {
+	return atomic.CompareAndSwapInt64(&ns.parent[local], int64(graph.NoVertex), int64(u))
+}
+
+func (ns *nodeState) resetLevelCounters() {
+	ns.genBytes = 0
+	ns.genInvocations = 0
+	ns.handlerBytes = 0
+	ns.hFwdBytes = 0
+	ns.hBwdBytes = 0
+	ns.relayBytes = 0
+	ns.hInvocations = 0
+	ns.smallBatches = 0
+}
+
+// moduleBytes returns the level's per-module input volumes for the
+// pipelined-module-mapping scheduler: generator, forward handler, backward
+// handler, relay. Call after the module goroutines have joined.
+func (ns *nodeState) moduleBytes() [4]int64 {
+	return [4]int64{ns.genBytes, ns.hFwdBytes, ns.hBwdBytes, ns.relayBytes}
+}
+
+// runLevel executes one BFS level on this node: generator and handler
+// modules run concurrently, the level completes when the transport reports
+// all channels closed.
+func (ns *nodeState) runLevel(level int, dir Direction) error {
+	ns.resetLevelCounters()
+	ns.genNext.Reset()
+
+	channels := []comm.Channel{comm.ChanForward}
+	if dir == BottomUp {
+		channels = append(channels, comm.ChanBackward)
+	}
+	ns.ep.StartLevel(level, channels...)
+	ns.r.net.Barrier()
+	if ns.r.net.Aborted() {
+		return errAborted
+	}
+
+	handlerErr := make(chan error, 1)
+	go func() { handlerErr <- ns.handle(dir) }()
+
+	var genErr error
+	if dir == TopDown {
+		genErr = ns.forwardGenerator()
+	} else {
+		genErr = ns.backwardGenerator()
+	}
+	hErr := <-handlerErr
+	if genErr != nil {
+		return genErr
+	}
+	return hErr
+}
+
+// forwardGenerator is FORWARD_GENERATOR (Algorithm 2): scan the frontier's
+// adjacency and ship one (u, v) message per edge to v's owner. The hub
+// shortcut skips edges whose endpoint is a hub already known visited — the
+// prefetched bitmap makes that a local test.
+func (ns *nodeState) forwardGenerator() error {
+	r := ns.r
+	var failed error
+	ns.curr.ForEach(func(local int64) {
+		if failed != nil {
+			return
+		}
+		u := r.part.Global(ns.id, local)
+		for _, v := range ns.sub.Neighbors(local) {
+			ns.genBytes += comm.PairBytes
+			if r.hubs != nil {
+				if slot, ok := r.hubs.Slot(v); ok && slot < r.hubsTopDown && r.hubVisited.Get(int64(slot)) {
+					continue // hub already discovered: no message needed
+				}
+			}
+			if err := ns.ep.Send(comm.ChanForward, r.part.Owner(v), comm.Pair{u, v}); err != nil {
+				failed = err
+				return
+			}
+		}
+	})
+	if failed != nil {
+		r.net.Abort()
+		return failed
+	}
+	if ns.genBytes > 0 {
+		ns.genInvocations++ // one CPE-cluster dispatch for the generator pass
+	}
+	if err := ns.ep.CloseChannel(comm.ChanForward); err != nil {
+		r.net.Abort()
+		return err
+	}
+	return nil
+}
+
+// backwardGenerator is BACKWARD_GENERATOR: every locally unvisited vertex
+// probes its neighbours. Hub neighbours are resolved locally against the
+// prefetched hub frontier (claiming a parent and ending the scan on a hit,
+// skipping the query on a miss); other neighbours trigger a backward query
+// to their owner.
+func (ns *nodeState) backwardGenerator() error {
+	r := ns.r
+	n := ns.sub.NumVertices()
+	for local := int64(0); local < n; local++ {
+		if ns.parentOf(local) != graph.NoVertex {
+			continue
+		}
+		v := r.part.Global(ns.id, local)
+		for _, u := range ns.sub.Neighbors(local) {
+			ns.genBytes += comm.PairBytes
+			if r.hubs != nil {
+				if slot, ok := r.hubs.Slot(u); ok && slot < r.hubsBottomUp {
+					if r.hubInCurr.Get(int64(slot)) && ns.claim(local, u) {
+						ns.genNext.Set(local)
+					}
+					if r.hubInCurr.Get(int64(slot)) {
+						break // parent found (by us or the handler): stop probing
+					}
+					continue // hub known absent from the frontier: skip the query
+				}
+			}
+			if err := ns.ep.Send(comm.ChanBackward, r.part.Owner(u), comm.Pair{u, v}); err != nil {
+				r.net.Abort()
+				return err
+			}
+		}
+	}
+	if ns.genBytes > 0 {
+		ns.genInvocations++
+	}
+	if err := ns.ep.CloseChannel(comm.ChanBackward); err != nil {
+		r.net.Abort()
+		return err
+	}
+	return nil
+}
+
+// handle runs the handler modules: FORWARD_HANDLER updates the parent map
+// and the next frontier; BACKWARD_HANDLER answers frontier probes by
+// forwarding a discovery to the asker's owner. In bottom-up levels the
+// forward channel closes once the backward stream has fully drained,
+// mirroring the longer data path of Figure 4(b).
+func (ns *nodeState) handle(dir Direction) error {
+	r := ns.r
+	for {
+		ev := ns.ep.Recv()
+		switch ev.Type {
+		case comm.EvError:
+			r.net.Abort()
+			return ev.Err
+
+		case comm.EvData:
+			batch := &ev.Batch
+			bytes := batch.ByteSize()
+			pairBytes := int64(len(batch.Pairs)) * comm.PairBytes
+			ns.handlerBytes += pairBytes
+			if ev.Channel == comm.ChanForward {
+				ns.hFwdBytes += pairBytes
+			} else {
+				ns.hBwdBytes += pairBytes
+			}
+			if r.cfg.SmallMessageMPE && bytes < sw.SmallMessageThresholdBytes {
+				ns.smallBatches++
+			} else {
+				ns.hInvocations++
+			}
+			switch ev.Channel {
+			case comm.ChanForward:
+				for _, p := range batch.Pairs {
+					u, v := p[0], p[1]
+					local := r.part.Local(v)
+					if ns.claim(local, u) {
+						ns.next.Set(local)
+					}
+				}
+			case comm.ChanBackward:
+				for _, p := range batch.Pairs {
+					u, v := p[0], p[1]
+					if ns.curr.Get(r.part.Local(u)) {
+						if err := ns.ep.Send(comm.ChanForward, r.part.Owner(v), comm.Pair{u, v}); err != nil {
+							r.net.Abort()
+							return err
+						}
+					}
+				}
+			}
+
+		case comm.EvChannelClosed:
+			switch ev.Channel {
+			case comm.ChanBackward:
+				// All probes answered: this node's forward contributions
+				// are complete.
+				if err := ns.ep.CloseChannel(comm.ChanForward); err != nil {
+					r.net.Abort()
+					return err
+				}
+			case comm.ChanForward:
+				// Level complete on this node; snapshot relay-module work
+				// (this goroutine ran the relay duties inside Recv).
+				if rep, ok := ns.ep.(*comm.RelayEndpoint); ok {
+					ns.relayBytes = rep.RelayedBytes()
+				}
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/fabric"
+	"swbfs/internal/graph"
+	"swbfs/internal/perf"
+)
+
+// errAborted signals a node saw the job torn down by a peer's failure; the
+// peer's original error is reported instead.
+var errAborted = errors.New("core: run aborted by peer failure")
+
+// Result is one BFS run's output: the validated-able parent map plus the
+// measurements the evaluation consumes.
+type Result struct {
+	Root   graph.Vertex
+	Parent []graph.Vertex
+
+	// Levels holds the per-level statistics in traversal order.
+	Levels []perf.LevelStats
+	// Visited counts discovered vertices (including the root).
+	Visited int64
+	// TraversedEdges is the Graph500 edge count of the discovered
+	// component (undirected edges counted once).
+	TraversedEdges int64
+
+	// Time is the modelled wall-clock seconds of the BFS kernel; GTEPS is
+	// TraversedEdges / Time / 1e9.
+	Time  float64
+	GTEPS float64
+
+	// BottomUpLevels counts levels the policy ran bottom-up.
+	BottomUpLevels int
+	// MaxConnections is the peak per-node MPI connection count.
+	MaxConnections int
+}
+
+// Runner executes BFS runs of one graph on one machine configuration. The
+// graph is partitioned once; Run may be called repeatedly with different
+// roots (the Graph500 harness uses 64).
+type Runner struct {
+	cfg   Config
+	g     *graph.CSR
+	part  graph.Partition
+	shape comm.GroupShape
+	model perf.Model
+
+	subs []*graph.LocalSubgraph
+
+	// Hub prefetch state (nil when disabled): hubs are the top-degree
+	// vertices machine-wide; the bitmaps are replicated per the paper's
+	// allgather and rebuilt per level/run.
+	hubs         *graph.HubSet
+	hubsTopDown  int
+	hubsBottomUp int
+	hubInCurr    *graph.Bitmap
+	hubVisited   *graph.Bitmap
+
+	// Per-run state.
+	net    *comm.Network
+	nodes  []*nodeState
+	policy *Policy
+
+	mu     sync.Mutex
+	levels []perf.LevelStats
+}
+
+// NewRunner partitions g over the configured machine and validates the
+// configuration against the architectural constraints (CPE SPM budgets).
+func NewRunner(cfg Config, g *graph.CSR) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: %d nodes", cfg.Nodes)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+
+	shape, err := shapeFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateEngine(cfg, shape); err != nil {
+		return nil, err
+	}
+
+	var part graph.Partition
+	switch cfg.Partition {
+	case PartitionBlock:
+		part = graph.NewBlock(g.N, cfg.Nodes)
+	case PartitionDegreeBalanced:
+		part = graph.NewDegreeBalanced(g, cfg.Nodes)
+	default:
+		part = graph.NewRoundRobin(g.N, cfg.Nodes)
+	}
+	r := &Runner{
+		cfg:   cfg,
+		g:     g,
+		part:  part,
+		shape: shape,
+		subs:  make([]*graph.LocalSubgraph, cfg.Nodes),
+	}
+	for node := 0; node < cfg.Nodes; node++ {
+		r.subs[node] = graph.ExtractLocal(g, part, node)
+	}
+
+	if cfg.HubPrefetch {
+		td := cfg.HubsTopDown
+		bu := cfg.HubsBottomUp
+		if td == 0 {
+			td = scaledHubCount(DefaultHubsTopDown, cfg.Nodes, g.N)
+		}
+		if bu == 0 {
+			bu = scaledHubCount(DefaultHubsBottomUp, cfg.Nodes, g.N)
+		}
+		if td > bu {
+			td = bu
+		}
+		r.hubs = graph.NewHubSet(graph.SelectHubs(g, bu))
+		r.hubsTopDown = td
+		r.hubsBottomUp = r.hubs.Len()
+	}
+	return r, nil
+}
+
+// scaledHubCount turns the paper's per-node hub budget into a total, capped
+// so hubs stay a small minority of the graph on scaled-down instances.
+func scaledHubCount(perNode, nodes int, n int64) int {
+	total := int64(perNode) * int64(nodes)
+	if cap := n / 16; total > cap {
+		total = cap
+	}
+	if total < 1 {
+		total = 1
+	}
+	return int(total)
+}
+
+// Config returns the runner's configuration (with defaults applied).
+func (r *Runner) Config() Config { return r.cfg }
+
+// Shape returns the relay group arrangement (zero value for direct).
+func (r *Runner) Shape() comm.GroupShape { return r.shape }
+
+// Run executes one rooted BFS and returns its result. The error reports a
+// simulated machine failure (SPM overflow was caught at construction; MPI
+// memory exhaustion surfaces here).
+func (r *Runner) Run(root graph.Vertex) (*Result, error) {
+	if root < 0 || int64(root) >= r.g.N {
+		return nil, fmt.Errorf("core: root %d out of range [0, %d)", root, r.g.N)
+	}
+
+	net, err := comm.NewNetwork(comm.Config{
+		Nodes:           r.cfg.Nodes,
+		SuperNodeSize:   r.cfg.SuperNodeSize,
+		BatchBytes:      r.cfg.BatchBytes,
+		MPIMemoryBudget: r.cfg.MPIMemoryBudget,
+		Codec:           r.cfg.Codec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.net = net
+	defer func() {
+		net.Close()
+		r.net = nil
+	}()
+	r.model = perf.NewModel(net.Topo, r.cfg.Engine)
+	r.policy = NewPolicy(r.cfg.Alpha, r.cfg.Beta, r.cfg.DirectionOptimized)
+	r.levels = nil
+
+	if r.hubs != nil {
+		r.hubInCurr = graph.NewBitmap(int64(r.hubsBottomUp))
+		r.hubVisited = graph.NewBitmap(int64(r.hubsBottomUp))
+	}
+
+	r.nodes = make([]*nodeState, r.cfg.Nodes)
+	for node := 0; node < r.cfg.Nodes; node++ {
+		sub := r.subs[node]
+		ns := &nodeState{
+			id:         node,
+			r:          r,
+			sub:        sub,
+			parent:     make([]int64, sub.NumVertices()),
+			curr:       graph.NewBitmap(sub.NumVertices()),
+			next:       graph.NewBitmap(sub.NumVertices()),
+			genNext:    graph.NewBitmap(sub.NumVertices()),
+			localEdges: sub.NumEdges(),
+		}
+		for i := range ns.parent {
+			ns.parent[i] = int64(graph.NoVertex)
+		}
+		ns.policyReplica = NewPolicy(r.cfg.Alpha, r.cfg.Beta, r.cfg.DirectionOptimized)
+		if node == 0 {
+			r.policy = ns.policyReplica // authoritative copy for reporting
+		}
+		if r.cfg.Transport == TransportRelay {
+			ep, err := comm.NewRelayEndpoint(net, node, r.shape)
+			if err != nil {
+				return nil, err
+			}
+			ns.ep = ep
+		} else {
+			ns.ep = comm.NewDirectEndpoint(net, node)
+		}
+		r.nodes[node] = ns
+	}
+
+	// Seed the root.
+	owner := r.part.Owner(root)
+	rootLocal := r.part.Local(root)
+	r.nodes[owner].parent[rootLocal] = int64(root)
+	r.nodes[owner].curr.Set(rootLocal)
+
+	// Drive every node SPMD-style.
+	errs := make([]error, r.cfg.Nodes)
+	var wg sync.WaitGroup
+	for node := 0; node < r.cfg.Nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			errs[node] = r.nodes[node].runBFS()
+		}(node)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			return nil, err
+		}
+	}
+	if net.Aborted() {
+		return nil, fmt.Errorf("core: run aborted without a reported cause")
+	}
+
+	return r.assemble(root), nil
+}
+
+// runBFS is the per-node main loop of Algorithm 1.
+func (ns *nodeState) runBFS() error {
+	r := ns.r
+	level := 0
+	for {
+		// Global frontier statistics (three allreduces: the runtime
+		// statistics TRAVERSAL_POLICY consumes).
+		var nfLocal, mfLocal int64
+		ns.curr.ForEach(func(local int64) {
+			nfLocal++
+			mfLocal += ns.sub.Degree(local)
+		})
+		ns.visitedDeg += mfLocal
+		nf := r.net.AllreduceSum(nfLocal)
+		mf := r.net.AllreduceSum(mfLocal)
+		mu := r.net.AllreduceSum(ns.localEdges - ns.visitedDeg)
+		if r.net.Aborted() {
+			return errAborted
+		}
+		if nf == 0 {
+			return nil
+		}
+
+		// Every node evaluates the policy on identical inputs; node 0's
+		// policy object is authoritative for reporting, the others track
+		// the same state machine.
+		dir := ns.policyReplica.Next(nf, mf, mu, r.g.N)
+
+		// Hub frontier exchange (with the empty-flag optimization).
+		if r.hubs != nil {
+			if err := ns.exchangeHubs(); err != nil {
+				return err
+			}
+		}
+
+		var before fabric.Snapshot
+		if ns.id == 0 {
+			before = r.net.Counters.Snapshot()
+		}
+		sentMsgs0, sentBytes0 := r.net.NodeSent(ns.id)
+
+		if err := ns.runLevel(level, dir); err != nil {
+			return err
+		}
+
+		// Critical-path statistics.
+		sentMsgs1, sentBytes1 := r.net.NodeSent(ns.id)
+		maxProcessed := r.net.AllreduceMax(ns.genBytes + ns.handlerBytes + ns.relayBytes)
+		maxSent := r.net.AllreduceMax(sentBytes1 - sentBytes0)
+		maxMsgs := r.net.AllreduceMax(sentMsgs1 - sentMsgs0)
+		maxInvocations := r.net.AllreduceMax(ns.invocations())
+		modules := ns.moduleBytes()
+		var maxModules [4]int64
+		for i, b := range modules {
+			maxModules[i] = r.net.AllreduceMax(b)
+		}
+		if r.net.Aborted() {
+			return errAborted
+		}
+
+		if ns.id == 0 {
+			after := r.net.Counters.Snapshot()
+			rounds := 1
+			if r.cfg.Transport == TransportRelay {
+				rounds = 2
+			}
+			if dir == BottomUp {
+				rounds *= 2
+			}
+			r.mu.Lock()
+			r.levels = append(r.levels, perf.LevelStats{
+				Level:                 level,
+				Direction:             dir.String(),
+				MaxNodeProcessedBytes: maxProcessed,
+				ModuleBytes:           maxModules[:],
+				MaxNodeSentBytes:      maxSent,
+				MaxNodeMessages:       maxMsgs,
+				ModuleInvocations:     maxInvocations,
+				Net:                   after.Sub(before),
+				Rounds:                rounds,
+			})
+			r.mu.Unlock()
+		}
+
+		// Advance the frontier: next (handler discoveries) merged with
+		// genNext (local hub claims).
+		ns.next.Or(ns.genNext)
+		ns.curr, ns.next = ns.next, ns.curr
+		ns.next.Reset()
+		level++
+	}
+}
+
+// exchangeHubs rebuilds the replicated hub-frontier bitmap from the current
+// frontier and folds it into the visited set. Node 0 installs the shared
+// result; the trailing barrier publishes it to every node before module
+// work reads it.
+func (ns *nodeState) exchangeHubs() error {
+	r := ns.r
+	words := ns.localHubWords()
+	result, err := r.net.AllgatherOr(words, true)
+	if err != nil {
+		return err
+	}
+	if r.net.Aborted() {
+		return errAborted
+	}
+	if ns.id == 0 {
+		r.hubInCurr.Reset()
+		if result != nil {
+			r.hubInCurr.LoadWords(result)
+		}
+		r.hubVisited.Or(r.hubInCurr)
+	}
+	r.net.Barrier()
+	if r.net.Aborted() {
+		return errAborted
+	}
+	return nil
+}
+
+// localHubWords returns the bitmap words of this node's own frontier hubs,
+// or nil when it has none (triggering the one-byte empty-flag gather).
+func (ns *nodeState) localHubWords() []uint64 {
+	r := ns.r
+	bm := graph.NewBitmap(int64(r.hubsBottomUp))
+	any := false
+	ns.curr.ForEach(func(local int64) {
+		v := r.part.Global(ns.id, local)
+		if slot, ok := r.hubs.Slot(v); ok {
+			bm.Set(int64(slot))
+			any = true
+		}
+	})
+	if !any {
+		return nil
+	}
+	return bm.Words()
+}
+
+// assemble merges per-node results into the global Result.
+func (r *Runner) assemble(root graph.Vertex) *Result {
+	res := &Result{
+		Root:   root,
+		Parent: make([]graph.Vertex, r.g.N),
+		Levels: r.levels,
+	}
+	for v := graph.Vertex(0); int64(v) < r.g.N; v++ {
+		p := r.nodes[r.part.Owner(v)].parentOf(r.part.Local(v))
+		res.Parent[v] = p
+		if p != graph.NoVertex {
+			res.Visited++
+		}
+	}
+	res.TraversedEdges = ComponentEdges(r.g, res.Parent)
+	res.Time = r.model.TotalTime(res.Levels)
+	res.GTEPS = r.model.GTEPS(res.TraversedEdges, res.Levels)
+	for _, s := range res.Levels {
+		if s.Direction == BottomUp.String() {
+			res.BottomUpLevels++
+		}
+	}
+	res.MaxConnections = r.net.MaxConnectionCount()
+	return res
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math/bits"
+
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+	"swbfs/internal/graph500"
+	"swbfs/internal/perf"
+)
+
+// scaledSuperNodeSize is the super-node size of scaled-down functional
+// runs: small enough that even modest node counts exercise the central
+// (oversubscribed) network level.
+const scaledSuperNodeSize = 16
+
+// Measurement is one functional BFS data point: a machine configuration
+// run on a weak-scaling-sized Kronecker graph, with the per-level
+// statistics kept for projection to paper scale.
+type Measurement struct {
+	Nodes           int
+	PerNodeVertices int64
+	Transport       core.Transport
+	Engine          perf.Engine
+
+	GTEPS  float64 // harmonic mean across roots
+	Edges  int64   // traversed undirected edges (representative run)
+	Levels []perf.LevelStats
+
+	Err error // simulated machine failure, if any
+}
+
+// Crashed reports whether the simulated machine failed.
+func (m *Measurement) Crashed() bool { return m.Err != nil }
+
+// MeasureBFS runs the configuration functionally: a Kronecker graph with
+// 2^perNodeLog vertices per node, `roots` BFS runs, harmonic-mean GTEPS.
+// nodes must be a power of two so weak-scaling graph sizes stay exact.
+func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Engine, roots int, seed int64) *Measurement {
+	m := &Measurement{
+		Nodes:           nodes,
+		PerNodeVertices: int64(1) << uint(perNodeLog),
+		Transport:       transport,
+		Engine:          engine,
+	}
+	if nodes <= 0 || bits.OnesCount(uint(nodes)) != 1 {
+		m.Err = fmt.Errorf("experiments: node count %d must be a power of two", nodes)
+		return m
+	}
+	if roots <= 0 {
+		roots = 2
+	}
+	scale := perNodeLog + bits.TrailingZeros(uint(nodes))
+
+	cfg := core.Config{
+		Nodes:              nodes,
+		SuperNodeSize:      scaledSuperNodeSize,
+		Transport:          transport,
+		Engine:             engine,
+		DirectionOptimized: true,
+		HubPrefetch:        true,
+		SmallMessageMPE:    true,
+	}
+
+	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		m.Err = err
+		return m
+	}
+	runner, err := core.NewRunner(cfg, g)
+	if err != nil {
+		m.Err = err
+		return m
+	}
+	rootList, err := graph500.SampleRoots(g, roots, seed)
+	if err != nil {
+		m.Err = err
+		return m
+	}
+
+	var invSum float64
+	for i, root := range rootList {
+		res, err := runner.Run(root)
+		if err != nil {
+			m.Err = err
+			return m
+		}
+		if res.GTEPS > 0 {
+			invSum += 1 / res.GTEPS
+		}
+		if i == 0 {
+			m.Edges = res.TraversedEdges
+			m.Levels = res.Levels
+		}
+	}
+	if invSum > 0 {
+		m.GTEPS = float64(len(rootList)) / invSum
+	}
+	return m
+}

@@ -1,0 +1,91 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters accumulates traffic per link class. All methods are safe for
+// concurrent use — every simulated node records its sends here.
+type Counters struct {
+	bytes    [numLinkClasses]atomic.Int64
+	messages [numLinkClasses]atomic.Int64
+	// collective traffic (allreduce/allgather) accounted separately: it is
+	// the "global communication" the paper works to reduce.
+	collectiveBytes atomic.Int64
+	collectiveOps   atomic.Int64
+}
+
+// Record adds one message of the given size on the given class.
+func (c *Counters) Record(class LinkClass, bytes int64) {
+	c.bytes[class].Add(bytes)
+	c.messages[class].Add(1)
+}
+
+// RecordCollective adds the traffic of one collective operation.
+func (c *Counters) RecordCollective(bytes int64) {
+	c.collectiveBytes.Add(bytes)
+	c.collectiveOps.Add(1)
+}
+
+// Bytes and Messages report per-class totals.
+func (c *Counters) Bytes(class LinkClass) int64    { return c.bytes[class].Load() }
+func (c *Counters) Messages(class LinkClass) int64 { return c.messages[class].Load() }
+
+// CollectiveBytes and CollectiveOps report collective totals.
+func (c *Counters) CollectiveBytes() int64 { return c.collectiveBytes.Load() }
+func (c *Counters) CollectiveOps() int64   { return c.collectiveOps.Load() }
+
+// NetworkBytes returns all bytes that crossed a wire (excludes loopback).
+func (c *Counters) NetworkBytes() int64 {
+	return c.Bytes(IntraSuper) + c.Bytes(InterSuper) + c.CollectiveBytes()
+}
+
+// NetworkMessages returns all messages that crossed a wire.
+func (c *Counters) NetworkMessages() int64 {
+	return c.Messages(IntraSuper) + c.Messages(InterSuper)
+}
+
+// Snapshot captures the current totals.
+type Snapshot struct {
+	Bytes           [numLinkClasses]int64
+	Messages        [numLinkClasses]int64
+	CollectiveBytes int64
+	CollectiveOps   int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual loads
+// are atomic; cross-field skew is harmless for statistics).
+func (c *Counters) Snapshot() Snapshot {
+	var s Snapshot
+	for i := LinkClass(0); i < numLinkClasses; i++ {
+		s.Bytes[i] = c.Bytes(i)
+		s.Messages[i] = c.Messages(i)
+	}
+	s.CollectiveBytes = c.CollectiveBytes()
+	s.CollectiveOps = c.CollectiveOps()
+	return s
+}
+
+// Sub returns the delta s - prev, for per-level accounting.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s.Bytes {
+		d.Bytes[i] = s.Bytes[i] - prev.Bytes[i]
+		d.Messages[i] = s.Messages[i] - prev.Messages[i]
+	}
+	d.CollectiveBytes = s.CollectiveBytes - prev.CollectiveBytes
+	d.CollectiveOps = s.CollectiveOps - prev.CollectiveOps
+	return d
+}
+
+// String renders the snapshot for logs and reports.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for i := LinkClass(0); i < numLinkClasses; i++ {
+		fmt.Fprintf(&b, "%s: %d msgs / %d B; ", i, s.Messages[i], s.Bytes[i])
+	}
+	fmt.Fprintf(&b, "collective: %d ops / %d B", s.CollectiveOps, s.CollectiveBytes)
+	return b.String()
+}

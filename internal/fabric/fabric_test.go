@@ -1,0 +1,153 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	topo, err := NewTopology(1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSuperNodes() != 4 {
+		t.Fatalf("NumSuperNodes = %d, want 4", topo.NumSuperNodes())
+	}
+	if topo.SuperNode(0) != 0 || topo.SuperNode(255) != 0 || topo.SuperNode(256) != 1 {
+		t.Fatal("SuperNode boundaries wrong")
+	}
+	if topo.Classify(3, 3) != Loopback {
+		t.Error("self message should be loopback")
+	}
+	if topo.Classify(3, 200) != IntraSuper {
+		t.Error("same super node should be intra-super")
+	}
+	if topo.Classify(3, 300) != InterSuper {
+		t.Error("different super nodes should be inter-super")
+	}
+}
+
+func TestTopologyDefaults(t *testing.T) {
+	topo, err := NewTopology(40960, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.SuperSize != SuperNodeSize {
+		t.Fatalf("default super size = %d, want %d", topo.SuperSize, SuperNodeSize)
+	}
+	// 40,960 nodes / 256 = 160 super nodes, as published.
+	if topo.NumSuperNodes() != 160 {
+		t.Fatalf("NumSuperNodes = %d, want 160", topo.NumSuperNodes())
+	}
+	// Published bisection is ~70 TB/s; raw-link model should be the same
+	// order of magnitude.
+	bisect := topo.BisectionBandwidth()
+	if bisect < 30e12 || bisect > 120e12 {
+		t.Fatalf("bisection %.1f TB/s not in the published ballpark", bisect/1e12)
+	}
+}
+
+func TestTopologyRejectsBadNodes(t *testing.T) {
+	if _, err := NewTopology(0, 4); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewTopology(-5, 4); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+}
+
+func TestCentralBandwidthOversubscribed(t *testing.T) {
+	topo, _ := NewTopology(1024, 256)
+	full := float64(topo.Nodes) * EffectiveNodeBandwidth
+	if got := topo.CentralBandwidth(); got != full/OversubscriptionRatio {
+		t.Fatalf("central bandwidth %.2e, want quarter of %.2e", got, full)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if Loopback.Latency() != 0 {
+		t.Error("loopback has latency")
+	}
+	if IntraSuper.Latency() >= InterSuper.Latency() {
+		t.Error("central network must be slower than a super node")
+	}
+}
+
+func TestClassifyProperty(t *testing.T) {
+	f := func(nodesSeed, superSeed uint8, a, b uint16) bool {
+		nodes := int(nodesSeed)%512 + 1
+		super := int(superSeed)%32 + 1
+		topo, err := NewTopology(nodes, super)
+		if err != nil {
+			return false
+		}
+		src, dst := int(a)%nodes, int(b)%nodes
+		class := topo.Classify(src, dst)
+		switch {
+		case src == dst:
+			return class == Loopback
+		case src/super == dst/super:
+			return class == IntraSuper
+		default:
+			return class == InterSuper
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record(IntraSuper, 10)
+				c.Record(InterSuper, 20)
+				c.RecordCollective(5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Bytes(IntraSuper) != 80000 || c.Messages(IntraSuper) != 8000 {
+		t.Fatalf("intra-super: %d B / %d msgs", c.Bytes(IntraSuper), c.Messages(IntraSuper))
+	}
+	if c.Bytes(InterSuper) != 160000 {
+		t.Fatalf("inter-super bytes = %d", c.Bytes(InterSuper))
+	}
+	if c.CollectiveBytes() != 40000 || c.CollectiveOps() != 8000 {
+		t.Fatal("collective accounting wrong")
+	}
+	if c.NetworkBytes() != 80000+160000+40000 {
+		t.Fatalf("NetworkBytes = %d", c.NetworkBytes())
+	}
+	if c.NetworkMessages() != 16000 {
+		t.Fatalf("NetworkMessages = %d", c.NetworkMessages())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.Record(IntraSuper, 100)
+	before := c.Snapshot()
+	c.Record(IntraSuper, 50)
+	c.Record(Loopback, 7)
+	c.RecordCollective(3)
+	delta := c.Snapshot().Sub(before)
+	if delta.Bytes[IntraSuper] != 50 || delta.Messages[IntraSuper] != 1 {
+		t.Fatalf("delta intra = %d B / %d msgs", delta.Bytes[IntraSuper], delta.Messages[IntraSuper])
+	}
+	if delta.Bytes[Loopback] != 7 {
+		t.Fatal("loopback delta wrong")
+	}
+	if delta.CollectiveBytes != 3 || delta.CollectiveOps != 1 {
+		t.Fatal("collective delta wrong")
+	}
+	if delta.String() == "" {
+		t.Fatal("empty render")
+	}
+}

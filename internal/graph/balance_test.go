@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDegreeBalancedTotality(t *testing.T) {
+	f := func(scaleSeed uint8, pSeed uint8) bool {
+		g, err := BuildKronecker(KroneckerConfig{
+			Scale: int(scaleSeed)%5 + 6,
+			Seed:  int64(scaleSeed) * 31,
+		})
+		if err != nil {
+			return false
+		}
+		p := int(pSeed)%8 + 1
+		part := NewDegreeBalanced(g, p)
+		var total int64
+		counts := make([]int64, p)
+		for v := Vertex(0); int64(v) < g.N; v++ {
+			o := part.Owner(v)
+			if o < 0 || o >= p {
+				return false
+			}
+			if part.Global(o, part.Local(v)) != v {
+				return false
+			}
+			counts[o]++
+		}
+		for node := 0; node < p; node++ {
+			if counts[node] != part.LocalCount(node) {
+				return false
+			}
+			total += counts[node]
+		}
+		return total == g.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeBalancedBeatsBlock(t *testing.T) {
+	g, err := BuildKronecker(KroneckerConfig{Scale: 13, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	balanced := DegreeImbalance(g, NewDegreeBalanced(g, p))
+	block := DegreeImbalance(g, NewBlock(g.N, p))
+	if balanced > 1.01 {
+		t.Fatalf("degree-balanced imbalance %.3f, want ~1.0", balanced)
+	}
+	if balanced >= block {
+		t.Fatalf("degree-balanced (%.3f) not better than block (%.3f)", balanced, block)
+	}
+}
+
+func TestDegreeBalancedVertexCountsEven(t *testing.T) {
+	g, err := BuildKronecker(KroneckerConfig{Scale: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 7
+	part := NewDegreeBalanced(g, p)
+	min, max := int64(1<<62), int64(0)
+	for node := 0; node < p; node++ {
+		c := part.LocalCount(node)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// The per-node cap keeps vertex counts within ceil(N/p).
+	if max > (g.N+int64(p)-1)/int64(p) {
+		t.Fatalf("a node holds %d vertices, cap is %d", max, (g.N+int64(p)-1)/int64(p))
+	}
+	if max-min > max/2+1 {
+		t.Fatalf("vertex spread too wide: %d..%d", min, max)
+	}
+}
+
+func TestDegreeBalancedPanicsOnBadP(t *testing.T) {
+	g, _ := BuildCSR(4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDegreeBalanced(g, 0)
+}
+
+func TestDegreeImbalanceEmpty(t *testing.T) {
+	g, _ := BuildCSR(4, nil)
+	if DegreeImbalance(g, NewBlock(4, 2)) != 1 {
+		t.Fatal("edgeless graph should report perfect balance")
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import "math/bits"
+
+// Bitmap is a fixed-size bit set used for BFS frontiers and hub-frontier
+// compression ("a bitmap is used for compressing the frontiers", §5). It is
+// not safe for concurrent mutation; the BFS engine confines each bitmap to a
+// single simulated core, mirroring the paper's contention-free design.
+type Bitmap struct {
+	bits []uint64
+	n    int64
+}
+
+// NewBitmap returns an all-zero bitmap over n positions.
+func NewBitmap(n int64) *Bitmap {
+	return &Bitmap{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of positions.
+func (b *Bitmap) Len() int64 { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int64) { b.bits[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int64) { b.bits[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int64) bool { return b.bits[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset zeroes the whole bitmap, retaining capacity.
+func (b *Bitmap) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int64 {
+	var c int64
+	for _, w := range b.bits {
+		c += int64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Empty reports whether no bit is set. This backs the paper's global-
+// communication reduction: when a hub frontier is empty a one-byte flag is
+// gathered instead of the bitmap.
+func (b *Bitmap) Empty() bool {
+	for _, w := range b.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Or merges other into b (b |= other). Both bitmaps must have the same
+// length.
+func (b *Bitmap) Or(other *Bitmap) {
+	for i, w := range other.bits {
+		b.bits[i] |= w
+	}
+}
+
+// Words exposes the raw words for serialization (length ceil(n/64)). The
+// returned slice aliases the bitmap.
+func (b *Bitmap) Words() []uint64 { return b.bits }
+
+// LoadWords overwrites the bitmap content from serialized words. Extra words
+// are ignored; missing words leave high bits zero.
+func (b *Bitmap) LoadWords(words []uint64) {
+	b.Reset()
+	n := len(words)
+	if n > len(b.bits) {
+		n = len(b.bits)
+	}
+	copy(b.bits, words[:n])
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitmap) ForEach(fn func(i int64)) {
+	for wi, w := range b.bits {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(int64(wi)*64 + int64(bit))
+			w &= w - 1
+		}
+	}
+}
+
+// ByteSize returns the serialized size in bytes, used by the comm layer's
+// traffic accounting.
+func (b *Bitmap) ByteSize() int64 { return int64(len(b.bits)) * 8 }

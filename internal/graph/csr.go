@@ -1,0 +1,143 @@
+// Package graph provides the graph substrate for the Sunway TaihuLight BFS
+// reproduction: a Compressed Sparse Row representation, the Graph500
+// Kronecker (R-MAT) generator, an edge-list-to-CSR builder, the 1-D
+// partitioner used by the distributed BFS, and degree/hub census utilities.
+//
+// Vertex identifiers are int64 so that the same types work from toy graphs
+// up to the paper's scale-40 problem statements, even though functional runs
+// in this reproduction are necessarily smaller.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies a vertex. Valid vertices are in [0, N) for a graph with
+// N vertices. The sentinel NoVertex marks "no parent" in BFS output.
+type Vertex int64
+
+// NoVertex is the sentinel used for absent parents (-1 in the paper's
+// Algorithm 1: "Prt(:) <- -1").
+const NoVertex Vertex = -1
+
+// Edge is a directed edge (From -> To). The Graph500 generator emits
+// undirected edges; the builder symmetrizes them.
+type Edge struct {
+	From, To Vertex
+}
+
+// CSR is a Compressed Sparse Row adjacency structure: the out-neighbours of
+// vertex v are Col[RowPtr[v]:RowPtr[v+1]], sorted ascending. For the
+// symmetric graphs used by Graph500 the structure also gives in-neighbours.
+type CSR struct {
+	N      int64   // number of vertices
+	RowPtr []int64 // length N+1, monotonically non-decreasing
+	Col    []Vertex
+}
+
+// NumEdges returns the number of stored directed edges (twice the number of
+// undirected edges for a symmetrized graph).
+func (g *CSR) NumEdges() int64 { return int64(len(g.Col)) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v Vertex) int64 {
+	return g.RowPtr[v+1] - g.RowPtr[v]
+}
+
+// Neighbors returns the sorted adjacency slice of v. The slice aliases the
+// CSR storage and must not be modified.
+func (g *CSR) Neighbors(v Vertex) []Vertex {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// HasEdge reports whether the directed edge (u, v) is present, using binary
+// search over the sorted adjacency of u.
+func (g *CSR) HasEdge(u, v Vertex) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the maximum out-degree and one vertex attaining it.
+// For an empty graph it returns (0, NoVertex).
+func (g *CSR) MaxDegree() (int64, Vertex) {
+	var (
+		best   int64
+		bestV  = NoVertex
+		degree int64
+	)
+	for v := Vertex(0); int64(v) < g.N; v++ {
+		degree = g.Degree(v)
+		if degree > best || bestV == NoVertex {
+			best, bestV = degree, v
+		}
+	}
+	if bestV == NoVertex {
+		return 0, NoVertex
+	}
+	return best, bestV
+}
+
+// Validate checks structural invariants: RowPtr has length N+1, starts at 0,
+// ends at len(Col), is non-decreasing; every column index is a valid vertex;
+// every adjacency list is sorted strictly ascending (no duplicates) and
+// contains no self loops. It returns a descriptive error on the first
+// violation.
+func (g *CSR) Validate() error {
+	if int64(len(g.RowPtr)) != g.N+1 {
+		return fmt.Errorf("graph: RowPtr length %d, want N+1 = %d", len(g.RowPtr), g.N+1)
+	}
+	if g.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: RowPtr[0] = %d, want 0", g.RowPtr[0])
+	}
+	if g.RowPtr[g.N] != int64(len(g.Col)) {
+		return fmt.Errorf("graph: RowPtr[N] = %d, want len(Col) = %d", g.RowPtr[g.N], len(g.Col))
+	}
+	for v := int64(0); v < g.N; v++ {
+		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+		if hi < lo {
+			return fmt.Errorf("graph: RowPtr decreases at vertex %d (%d -> %d)", v, lo, hi)
+		}
+		prev := Vertex(-1)
+		for i := lo; i < hi; i++ {
+			w := g.Col[i]
+			if w < 0 || int64(w) >= g.N {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if w == Vertex(v) {
+				return fmt.Errorf("graph: vertex %d has a self loop", v)
+			}
+			if w <= prev {
+				return fmt.Errorf("graph: adjacency of %d not strictly ascending at index %d (%d after %d)", v, i, w, prev)
+			}
+			prev = w
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether for every edge (u, v) the reverse edge (v, u)
+// is also present. Symmetry is a Graph500 construction invariant.
+func (g *CSR) IsSymmetric() bool {
+	for u := Vertex(0); int64(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Edges returns the full directed edge list in CSR order. Intended for tests
+// and small graphs.
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, len(g.Col))
+	for u := Vertex(0); int64(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			out = append(out, Edge{From: u, To: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBuildCSR feeds arbitrary byte strings as edge lists: construction
+// must never panic, and every accepted graph must satisfy the CSR
+// invariants.
+func FuzzBuildCSR(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{5, 5, 5, 5}, uint8(6))
+	f.Fuzz(func(t *testing.T, raw []byte, nSeed uint8) {
+		n := int64(nSeed)%200 + 1
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				From: Vertex(int64(raw[i]) % n),
+				To:   Vertex(int64(raw[i+1]) % n),
+			})
+		}
+		g, err := BuildCSR(n, edges)
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built CSR invalid: %v", err)
+		}
+		if !g.IsSymmetric() {
+			t.Fatal("built CSR asymmetric")
+		}
+	})
+}
+
+// FuzzReadEdgesText: the parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzReadEdgesText(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("# comment\n\n10\t20\n")
+	f.Add("x y\n")
+	f.Add("9223372036854775807 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, err := ReadEdgesText(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgesText(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadEdgesText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip length %d, want %d", len(again), len(edges))
+		}
+	})
+}
+
+// FuzzReadCSR: arbitrary bytes must never panic the deserializer, and
+// anything it accepts must validate.
+func FuzzReadCSR(f *testing.F) {
+	g, err := BuildCSR(4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, err := ReadCSR(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted CSR invalid: %v", err)
+		}
+	})
+}

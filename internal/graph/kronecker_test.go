@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKroneckerDeterministic(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 8, Seed: 42}
+	a, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKroneckerSeedChangesOutput(t *testing.T) {
+	a, err := GenerateKronecker(KroneckerConfig{Scale: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := GenerateKronecker(KroneckerConfig{Scale: 8, Seed: 2})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edge lists")
+	}
+}
+
+func TestKroneckerCounts(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 10, Seed: 7}
+	edges, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if int64(len(edges)) != cfg.NumEdges() {
+		t.Fatalf("edge count %d, want %d", len(edges), cfg.NumEdges())
+	}
+	n := cfg.NumVertices()
+	for _, e := range edges {
+		if e.From < 0 || int64(e.From) >= n || e.To < 0 || int64(e.To) >= n {
+			t.Fatalf("edge %v out of range [0, %d)", e, n)
+		}
+	}
+}
+
+func TestKroneckerEdgeFactor(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 6, EdgeFactor: 3, Seed: 1}
+	edges, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(edges) != 3<<6 {
+		t.Fatalf("edge count %d, want %d", len(edges), 3<<6)
+	}
+}
+
+// TestKroneckerPowerLaw checks the defining shape of the distribution: the
+// maximum degree must hugely exceed the median (power-law skew). Graph500's
+// whole direction-optimization story rests on this property.
+func TestKroneckerPowerLaw(t *testing.T) {
+	g, err := BuildKronecker(KroneckerConfig{Scale: 14, Seed: 9})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	c := Census(g)
+	if c.Max < 20*c.Median || c.Max < 100 {
+		t.Fatalf("degree distribution not skewed: max=%d median=%d", c.Max, c.Median)
+	}
+	if c.Isolated == 0 {
+		t.Fatal("expected isolated vertices in a Kronecker graph")
+	}
+	if math.Abs(c.Mean-2*float64(DefaultEdgeFactor)) > float64(DefaultEdgeFactor) {
+		// After symmetrization mean degree ~ 2*edgefactor minus dedup/loop
+		// losses; allow a wide band but catch gross generator breakage.
+		t.Fatalf("mean degree %.1f wildly off 2*edgefactor", c.Mean)
+	}
+}
+
+func TestKroneckerValidation(t *testing.T) {
+	bad := []KroneckerConfig{
+		{Scale: 0},
+		{Scale: 41},
+		{Scale: 5, EdgeFactor: -1},
+		{Scale: 5, A: 0.9, B: 0.1, C: 0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateKronecker(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	edges := GenerateUniform(100, 500, 3)
+	if len(edges) != 500 {
+		t.Fatalf("edge count %d, want 500", len(edges))
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= 100 || e.To < 0 || e.To >= 100 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+	g, err := BuildCSR(100, edges)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	c := Census(g)
+	// Uniform graphs must NOT be skewed like Kronecker ones.
+	if c.Max > 10*c.Median+10 {
+		t.Fatalf("uniform graph unexpectedly skewed: max=%d median=%d", c.Max, c.Median)
+	}
+}

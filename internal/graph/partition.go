@@ -1,0 +1,160 @@
+package graph
+
+import "fmt"
+
+// Partition maps vertices of a graph onto P compute nodes. The paper uses a
+// 1-D partitioning: the adjacency matrix is split by rows, so each vertex
+// (and its full out-adjacency) belongs to exactly one node.
+//
+// Two layouts are provided. RoundRobin (vertex mod P) is the Graph500
+// reference layout and spreads consecutive hub IDs across nodes; Block keeps
+// contiguous ranges together. The paper additionally "balances the graph
+// partitioning"; round-robin is the balanced default here.
+type Partition interface {
+	// Nodes returns the number of compute nodes P.
+	Nodes() int
+	// Owner returns the node owning vertex v.
+	Owner(v Vertex) int
+	// Local converts a global vertex to its dense local index on its owner.
+	Local(v Vertex) int64
+	// Global converts a node-local index back to the global vertex.
+	Global(node int, local int64) Vertex
+	// LocalCount returns how many vertices the given node owns.
+	LocalCount(node int) int64
+}
+
+// RoundRobinPartition assigns vertex v to node v mod P.
+type RoundRobinPartition struct {
+	N int64 // total vertices
+	P int   // nodes
+}
+
+// NewRoundRobin builds a round-robin 1-D partition of n vertices over p
+// nodes. It panics if p <= 0 or n < 0, which indicate programmer error.
+func NewRoundRobin(n int64, p int) *RoundRobinPartition {
+	if p <= 0 {
+		panic(fmt.Sprintf("graph: partition over %d nodes", p))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("graph: partition of %d vertices", n))
+	}
+	return &RoundRobinPartition{N: n, P: p}
+}
+
+func (p *RoundRobinPartition) Nodes() int           { return p.P }
+func (p *RoundRobinPartition) Owner(v Vertex) int   { return int(int64(v) % int64(p.P)) }
+func (p *RoundRobinPartition) Local(v Vertex) int64 { return int64(v) / int64(p.P) }
+
+func (p *RoundRobinPartition) Global(node int, local int64) Vertex {
+	return Vertex(local*int64(p.P) + int64(node))
+}
+
+func (p *RoundRobinPartition) LocalCount(node int) int64 {
+	// Vertices node, node+P, node+2P, ... below N.
+	if int64(node) >= p.N {
+		return 0
+	}
+	return (p.N - int64(node) + int64(p.P) - 1) / int64(p.P)
+}
+
+// BlockPartition assigns contiguous vertex ranges to nodes: node i owns
+// [i*ceil(N/P), (i+1)*ceil(N/P)) clipped to N.
+type BlockPartition struct {
+	N     int64
+	P     int
+	block int64
+}
+
+// NewBlock builds a block 1-D partition of n vertices over p nodes.
+func NewBlock(n int64, p int) *BlockPartition {
+	if p <= 0 {
+		panic(fmt.Sprintf("graph: partition over %d nodes", p))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("graph: partition of %d vertices", n))
+	}
+	block := (n + int64(p) - 1) / int64(p)
+	if block == 0 {
+		block = 1
+	}
+	return &BlockPartition{N: n, P: p, block: block}
+}
+
+func (p *BlockPartition) Nodes() int { return p.P }
+
+func (p *BlockPartition) Owner(v Vertex) int {
+	o := int(int64(v) / p.block)
+	if o >= p.P {
+		o = p.P - 1
+	}
+	return o
+}
+
+func (p *BlockPartition) Local(v Vertex) int64 {
+	return int64(v) - int64(p.Owner(v))*p.block
+}
+
+func (p *BlockPartition) Global(node int, local int64) Vertex {
+	return Vertex(int64(node)*p.block + local)
+}
+
+func (p *BlockPartition) LocalCount(node int) int64 {
+	lo := int64(node) * p.block
+	hi := lo + p.block
+	if hi > p.N {
+		hi = p.N
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// LocalSubgraph is the per-node slice of a 1-D partitioned CSR: the
+// out-adjacency of every vertex owned by one node, indexed by local vertex
+// index. Column entries remain global vertex IDs (their owners can be any
+// node — this is exactly what generates the paper's all-to-all traffic).
+type LocalSubgraph struct {
+	Node   int
+	Part   Partition
+	RowPtr []int64
+	Col    []Vertex
+}
+
+// ExtractLocal builds node `node`'s LocalSubgraph from the global CSR.
+func ExtractLocal(g *CSR, part Partition, node int) *LocalSubgraph {
+	count := part.LocalCount(node)
+	sub := &LocalSubgraph{
+		Node:   node,
+		Part:   part,
+		RowPtr: make([]int64, count+1),
+	}
+	var total int64
+	for local := int64(0); local < count; local++ {
+		v := part.Global(node, local)
+		total += g.Degree(v)
+		sub.RowPtr[local+1] = total
+	}
+	sub.Col = make([]Vertex, 0, total)
+	for local := int64(0); local < count; local++ {
+		v := part.Global(node, local)
+		sub.Col = append(sub.Col, g.Neighbors(v)...)
+	}
+	return sub
+}
+
+// NumVertices returns the number of locally owned vertices.
+func (s *LocalSubgraph) NumVertices() int64 { return int64(len(s.RowPtr)) - 1 }
+
+// NumEdges returns the number of locally stored directed edges.
+func (s *LocalSubgraph) NumEdges() int64 { return int64(len(s.Col)) }
+
+// Neighbors returns the global-ID adjacency of the local vertex index.
+func (s *LocalSubgraph) Neighbors(local int64) []Vertex {
+	return s.Col[s.RowPtr[local]:s.RowPtr[local+1]]
+}
+
+// Degree returns the out-degree of the local vertex index.
+func (s *LocalSubgraph) Degree(local int64) int64 {
+	return s.RowPtr[local+1] - s.RowPtr[local]
+}

@@ -1,0 +1,57 @@
+package graph500
+
+import (
+	"testing"
+
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+)
+
+// FuzzValidate throws arbitrary parent maps at both validators: they must
+// never panic, must agree with each other, and must accept the reference
+// BFS tree unchanged.
+func FuzzValidate(f *testing.F) {
+	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: 7, Seed: 19})
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, root := g.MaxDegree()
+	ref, _ := core.ReferenceBFS(g, root)
+	seed := make([]byte, len(ref))
+	for i, p := range ref {
+		seed[i] = byte(int64(p) & 0xff)
+	}
+	f.Add(seed)
+	f.Add(make([]byte, len(ref)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parent := append([]graph.Vertex(nil), ref...)
+		// Mutate entries per the fuzz input: each byte perturbs one slot.
+		for i, b := range raw {
+			if i >= len(parent) {
+				break
+			}
+			switch b % 4 {
+			case 0:
+				// keep
+			case 1:
+				parent[i] = graph.NoVertex
+			case 2:
+				parent[i] = graph.Vertex(int64(b) % g.N)
+			case 3:
+				parent[i] = graph.Vertex(int64(b)) // possibly out of range
+			}
+		}
+		seqLevel, seqErr := Validate(g, root, parent)
+		parLevel, parErr := ValidateParallel(g, root, parent, 4)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("validators disagree: sequential=%v parallel=%v", seqErr, parErr)
+		}
+		if seqErr == nil {
+			for v := range seqLevel {
+				if seqLevel[v] != parLevel[v] {
+					t.Fatalf("level[%d]: %d vs %d", v, seqLevel[v], parLevel[v])
+				}
+			}
+		}
+	})
+}

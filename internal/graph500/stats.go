@@ -1,0 +1,89 @@
+package graph500
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the order statistics Graph500 reports for a sample
+// (times or TEPS rates). TEPS aggregation uses harmonic means per the
+// specification; times use arithmetic means.
+type Summary struct {
+	Min, FirstQuartile, Median, ThirdQuartile, Max float64
+	Mean                                           float64 // harmonic for TEPS, arithmetic for times
+	StdDev                                         float64
+	Harmonic                                       bool
+}
+
+// Summarize computes the order statistics of the sample. harmonic selects
+// the harmonic mean (and its standard deviation per the Graph500 formula).
+func Summarize(sample []float64, harmonic bool) Summary {
+	s := Summary{Harmonic: harmonic}
+	if len(sample) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	quartile := func(q float64) float64 {
+		pos := q * float64(n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	s.Min = sorted[0]
+	s.FirstQuartile = quartile(0.25)
+	s.Median = quartile(0.5)
+	s.ThirdQuartile = quartile(0.75)
+	s.Max = sorted[n-1]
+
+	if harmonic {
+		var invSum float64
+		for _, v := range sorted {
+			invSum += 1 / v
+		}
+		s.Mean = float64(n) / invSum
+		// Graph500's harmonic stddev: via the stddev of the reciprocals.
+		invMean := invSum / float64(n)
+		var invVar float64
+		for _, v := range sorted {
+			d := 1/v - invMean
+			invVar += d * d
+		}
+		if n > 1 {
+			invVar /= float64(n - 1)
+		}
+		s.StdDev = math.Sqrt(invVar) / (invMean * invMean) / math.Sqrt(float64(n))
+	} else {
+		var sum float64
+		for _, v := range sorted {
+			sum += v
+		}
+		s.Mean = sum / float64(n)
+		var variance float64
+		for _, v := range sorted {
+			d := v - s.Mean
+			variance += d * d
+		}
+		if n > 1 {
+			variance /= float64(n - 1)
+		}
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// String renders the summary in Graph500 output style.
+func (s Summary) String() string {
+	kind := "mean"
+	if s.Harmonic {
+		kind = "harmonic_mean"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "min: %.4g  q1: %.4g  median: %.4g  q3: %.4g  max: %.4g  %s: %.4g  stddev: %.4g",
+		s.Min, s.FirstQuartile, s.Median, s.ThirdQuartile, s.Max, kind, s.Mean, s.StdDev)
+	return b.String()
+}

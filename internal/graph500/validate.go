@@ -1,0 +1,98 @@
+// Package graph500 implements the benchmark the paper is evaluated with:
+// Kronecker graph generation, 64-root BFS kernel runs on the simulated
+// machine, result validation per the Graph500 specification, and the TEPS
+// statistics (harmonic means) the list reports.
+package graph500
+
+import (
+	"fmt"
+
+	"swbfs/internal/graph"
+)
+
+// Validate checks a BFS parent map against the graph per the Graph500
+// rules:
+//
+//  1. the root's parent is itself;
+//  2. every visited non-root vertex has a visited parent, and following
+//     parents reaches the root without cycles;
+//  3. every tree edge (parent[v], v) exists in the graph;
+//  4. tree levels are consistent: level(v) = level(parent(v)) + 1;
+//  5. every graph edge connects vertices whose levels differ by at most
+//     one, and both endpoints are visited or both unvisited (each
+//     connected component is fully discovered or fully untouched).
+//
+// It returns the computed level array on success.
+func Validate(g *graph.CSR, root graph.Vertex, parent []graph.Vertex) ([]int64, error) {
+	if int64(len(parent)) != g.N {
+		return nil, fmt.Errorf("graph500: parent map has %d entries for %d vertices", len(parent), g.N)
+	}
+	if root < 0 || int64(root) >= g.N {
+		return nil, fmt.Errorf("graph500: root %d out of range", root)
+	}
+	if parent[root] != root {
+		return nil, fmt.Errorf("graph500: parent[root=%d] = %d, want self", root, parent[root])
+	}
+
+	// Rule 2 + 4: resolve levels by parent chasing with memoization; a
+	// chain longer than N vertices means a cycle.
+	level := make([]int64, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	var chase func(v graph.Vertex, depth int64) (int64, error)
+	chase = func(v graph.Vertex, depth int64) (int64, error) {
+		if depth > g.N {
+			return 0, fmt.Errorf("graph500: parent chain from %d exceeds vertex count (cycle)", v)
+		}
+		if level[v] >= 0 {
+			return level[v], nil
+		}
+		p := parent[v]
+		if p == graph.NoVertex {
+			return 0, fmt.Errorf("graph500: visited vertex %d chains to unvisited parent", v)
+		}
+		if p < 0 || int64(p) >= g.N {
+			return 0, fmt.Errorf("graph500: vertex %d has out-of-range parent %d", v, p)
+		}
+		pl, err := chase(p, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		level[v] = pl + 1
+		return level[v], nil
+	}
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		if parent[v] == graph.NoVertex {
+			continue
+		}
+		if _, err := chase(v, 0); err != nil {
+			return nil, err
+		}
+		// Rule 3: tree edges are graph edges.
+		if v != root && !g.HasEdge(parent[v], v) {
+			return nil, fmt.Errorf("graph500: tree edge (%d, %d) not in graph", parent[v], v)
+		}
+	}
+
+	// Rule 5: graph edges connect consecutive-or-equal levels within one
+	// component.
+	for u := graph.Vertex(0); int64(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			uVisited := parent[u] != graph.NoVertex
+			vVisited := parent[v] != graph.NoVertex
+			if uVisited != vVisited {
+				return nil, fmt.Errorf("graph500: edge (%d, %d) spans visited/unvisited", u, v)
+			}
+			if !uVisited {
+				continue
+			}
+			d := level[u] - level[v]
+			if d < -1 || d > 1 {
+				return nil, fmt.Errorf("graph500: edge (%d, %d) spans levels %d and %d", u, v, level[u], level[v])
+			}
+		}
+	}
+	return level, nil
+}

@@ -1,0 +1,128 @@
+package graph500
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"swbfs/internal/graph"
+)
+
+// ValidateParallel is the scaled validation pass the paper alludes to in
+// Section 5 ("we ... optimize the BFS verification algorithm to scale the
+// entire benchmark"): identical rules to Validate, with the edge-dominated
+// checks (tree-edge membership, cross-edge level consistency, component
+// closure) fanned out over `workers` goroutines. Level resolution by
+// parent chasing is O(N) with memoization and stays sequential — the edge
+// scans are the ~16x heavier part.
+//
+// workers <= 0 selects GOMAXPROCS.
+func ValidateParallel(g *graph.CSR, root graph.Vertex, parent []graph.Vertex, workers int) ([]int64, error) {
+	if int64(len(parent)) != g.N {
+		return nil, fmt.Errorf("graph500: parent map has %d entries for %d vertices", len(parent), g.N)
+	}
+	if root < 0 || int64(root) >= g.N {
+		return nil, fmt.Errorf("graph500: root %d out of range", root)
+	}
+	if parent[root] != root {
+		return nil, fmt.Errorf("graph500: parent[root=%d] = %d, want self", root, parent[root])
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Sequential level resolution (rules 2 and the cycle check), iterative
+	// to avoid deep recursion on path-like graphs.
+	level := make([]int64, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	var chain []graph.Vertex
+	for v := graph.Vertex(0); int64(v) < g.N; v++ {
+		if parent[v] == graph.NoVertex || level[v] >= 0 {
+			continue
+		}
+		chain = chain[:0]
+		u := v
+		for level[u] < 0 {
+			if int64(len(chain)) > g.N {
+				return nil, fmt.Errorf("graph500: parent chain from %d exceeds vertex count (cycle)", v)
+			}
+			p := parent[u]
+			if p == graph.NoVertex {
+				return nil, fmt.Errorf("graph500: visited vertex %d chains to unvisited parent", u)
+			}
+			if p < 0 || int64(p) >= g.N {
+				return nil, fmt.Errorf("graph500: vertex %d has out-of-range parent %d", u, p)
+			}
+			chain = append(chain, u)
+			u = p
+		}
+		base := level[u]
+		for i := len(chain) - 1; i >= 0; i-- {
+			base++
+			level[chain[i]] = base
+		}
+	}
+
+	// Parallel edge checks (rules 3 and 5).
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	chunk := (g.N + int64(workers) - 1) / int64(workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * chunk
+		hi := lo + chunk
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			for uv := lo; uv < hi; uv++ {
+				u := graph.Vertex(uv)
+				uVisited := parent[u] != graph.NoVertex
+				if uVisited && u != root && !g.HasEdge(parent[u], u) {
+					fail(fmt.Errorf("graph500: tree edge (%d, %d) not in graph", parent[u], u))
+					return
+				}
+				for _, v := range g.Neighbors(u) {
+					vVisited := parent[v] != graph.NoVertex
+					if uVisited != vVisited {
+						fail(fmt.Errorf("graph500: edge (%d, %d) spans visited/unvisited", u, v))
+						return
+					}
+					if !uVisited {
+						continue
+					}
+					d := level[u] - level[v]
+					if d < -1 || d > 1 {
+						fail(fmt.Errorf("graph500: edge (%d, %d) spans levels %d and %d", u, v, level[u], level[v]))
+						return
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return level, nil
+}

@@ -1,0 +1,163 @@
+package shuffle
+
+import (
+	"errors"
+	"testing"
+
+	"swbfs/internal/sw"
+)
+
+// This file verifies the paper's negative claims about the register mesh —
+// the design space Section 4.3 rejects before arriving at the two-column
+// router arrangement:
+//
+//  1. "Deadlock-free communications for any arbitrary pair of accelerator
+//     cores are not supported" — arbitrary direct producer->consumer
+//     messaging violates the row/column constraint.
+//  2. A single router column serving BOTH directions admits circular waits
+//     ("there are two columns of routers for upward and downward pass,
+//     which is necessary for deadlock-free configuration").
+
+// TestDirectProducerConsumerIllegal: most producer->consumer pairs share
+// neither a row nor a column, so the naive shuffle is impossible on the
+// mesh — the simulator rejects the route.
+func TestDirectProducerConsumerIllegal(t *testing.T) {
+	programs := make([]sw.Program, sw.CPEsPerCluster)
+	// Producer (0,0) sends straight to consumer (1,6): no shared row/col.
+	src := sw.ID(0, 0)
+	dst := sw.ID(1, 6)
+	programs[src] = sw.ProgramFunc(func(ctx *sw.CPEContext) sw.Op {
+		if ctx.Cycle == 0 {
+			return sw.OpSend{Dst: dst, Msg: encode(Record{Dest: 0})}
+		}
+		return sw.OpHalt{}
+	})
+	programs[dst] = sw.ProgramFunc(func(ctx *sw.CPEContext) sw.Op {
+		return sw.OpRecv{From: sw.AnySender}
+	})
+	_, err := sw.NewCluster(programs).Run(10000)
+	var route *sw.IllegalRouteError
+	if !errors.As(err, &route) {
+		t.Fatalf("error = %v, want IllegalRouteError", err)
+	}
+}
+
+// singleColumnRouter is a deliberately broken router: it forwards BOTH
+// directions over one column (store-and-forward, like the real scheme but
+// without the up/down split).
+type singleColumnRouter struct {
+	col     int
+	forward *sw.OpSend
+	// Each router expects exactly one data message and one DONE from its
+	// row's producer, then one data message from the peer router.
+	gotData, gotPeer bool
+}
+
+func (r *singleColumnRouter) Next(ctx *sw.CPEContext) sw.Op {
+	if r.forward != nil {
+		op := *r.forward
+		r.forward = nil
+		return op
+	}
+	if ctx.LastFrom != sw.AnySender {
+		msg := ctx.LastMsg
+		from := ctx.LastFrom
+		ctx.LastFrom = sw.AnySender
+		if rec, isData := decode(msg); isData {
+			if sw.Col(from) == r.col {
+				// Data from the peer router: consume locally.
+				r.gotPeer = true
+			} else {
+				// Data from my row's producer: forward vertically to the
+				// router in the destination row — both directions share
+				// this one column.
+				r.gotData = true
+				targetRow := rec.Dest
+				return sw.OpSend{Dst: sw.ID(targetRow, r.col), Msg: msg}
+			}
+		}
+	}
+	if r.gotData && r.gotPeer {
+		return sw.OpHalt{}
+	}
+	return sw.OpRecv{From: sw.AnySender}
+}
+
+// TestSingleRouterColumnDeadlocks builds the classic circular wait: row 2's
+// router must send DOWN to row 5 while row 5's router must send UP to row
+// 2, both on the same column, both already holding a message (capacity-1
+// store-and-forward). The rendezvous can never complete: each is blocked
+// in OpSend and neither reaches OpRecv.
+func TestSingleRouterColumnDeadlocks(t *testing.T) {
+	const col = 4
+	programs := make([]sw.Program, sw.CPEsPerCluster)
+
+	// Producers at (2,0) and (5,0) each inject one record destined for the
+	// other row, then halt.
+	mk := func(row, targetRow int) sw.Program {
+		sent := false
+		return sw.ProgramFunc(func(ctx *sw.CPEContext) sw.Op {
+			if sent {
+				return sw.OpHalt{}
+			}
+			sent = true
+			return sw.OpSend{
+				Dst: sw.ID(row, col),
+				Msg: encode(Record{Dest: targetRow}),
+			}
+		})
+	}
+	programs[sw.ID(2, 0)] = mk(2, 5)
+	programs[sw.ID(5, 0)] = mk(5, 2)
+	programs[sw.ID(2, col)] = &singleColumnRouter{col: col}
+	programs[sw.ID(5, col)] = &singleColumnRouter{col: col}
+
+	_, err := sw.NewCluster(programs).Run(1 << 20)
+	var deadlock *sw.DeadlockError
+	if !errors.As(err, &deadlock) {
+		t.Fatalf("error = %v, want DeadlockError (single-column routing must deadlock)", err)
+	}
+	// The wait-for set must contain the two routers pointing at each other.
+	waits := map[int]int{}
+	for _, b := range deadlock.Blocked {
+		waits[b.ID] = b.WaitsOn
+	}
+	r2, r5 := sw.ID(2, col), sw.ID(5, col)
+	if waits[r2] != r5 || waits[r5] != r2 {
+		t.Fatalf("wait-for edges %v do not show the router cycle", waits)
+	}
+}
+
+// TestTwoColumnSchemeResolvesSameWorkload: the identical cross-row workload
+// completes under the paper's up/down split (via the full RunMesh path).
+func TestTwoColumnSchemeResolvesSameWorkload(t *testing.T) {
+	layout := DefaultLayout()
+	// Two records crossing in opposite directions between distant rows —
+	// the pattern that killed the single-column router.
+	records := []Record{
+		{Dest: layoutDestForRow(layout, 5), Payload: [2]uint64{1, 2}},
+		{Dest: layoutDestForRow(layout, 2), Payload: [2]uint64{3, 4}},
+	}
+	res, err := RunMesh(layout, records, layout.NumConsumers())
+	if err != nil {
+		t.Fatalf("two-column scheme failed the crossing workload: %v", err)
+	}
+	var delivered int
+	for _, out := range res.ByConsumer {
+		delivered += len(out)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d records, want 2", delivered)
+	}
+}
+
+// layoutDestForRow picks a destination whose owning consumer sits in the
+// given mesh row.
+func layoutDestForRow(l Layout, row int) int {
+	for dest := 0; dest < l.NumConsumers(); dest++ {
+		if sw.Row(l.ConsumerCPE(dest)) == row {
+			return dest
+		}
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"swbfs/internal/sw"
+)
+
+// TestAlternativeLayoutsShuffleCorrectly: the producer/router/consumer
+// scheme is parametric in the column split ("the number of producers,
+// routers and consumers depends on specific architecture details",
+// Section 4.3). Every legal split must shuffle correctly and without
+// deadlock on the cycle simulator.
+func TestAlternativeLayoutsShuffleCorrectly(t *testing.T) {
+	layouts := []Layout{
+		{ProducerCols: 1, RouterUpCol: 1, RouterDownCol: 2}, // 8P/16R/40C
+		{ProducerCols: 2, RouterUpCol: 2, RouterDownCol: 3}, // 16P/16R/32C
+		{ProducerCols: 3, RouterUpCol: 3, RouterDownCol: 4}, // 24P/16R/24C
+		{ProducerCols: 5, RouterUpCol: 5, RouterDownCol: 6}, // 40P/16R/8C
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, l := range layouts {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("layout %+v invalid: %v", l, err)
+		}
+		numDest := l.NumConsumers() * 2
+		records := randomRecords(rng, 400, numDest)
+		res, err := RunMesh(l, records, numDest)
+		if err != nil {
+			t.Fatalf("layout %+v: %v", l, err)
+		}
+		var delivered int
+		for idx, out := range res.ByConsumer {
+			for _, r := range out {
+				if l.ConsumerIndex(r.Dest) != idx {
+					t.Fatalf("layout %+v: ownership violated", l)
+				}
+			}
+			delivered += len(out)
+		}
+		if delivered != len(records) {
+			t.Fatalf("layout %+v: delivered %d of %d", l, delivered, len(records))
+		}
+	}
+}
+
+// TestLayoutThroughputTradeoff: the default 4/2/2 split exists because
+// producers feed and consumers drain at matched rates; the model must show
+// the extreme splits (too few producers or too few consumers) losing to
+// the default — the tuning argument of Section 4.3.
+func TestLayoutThroughputTradeoff(t *testing.T) {
+	def := ModelBandwidth(DefaultLayout())
+	fewProducers := ModelBandwidth(Layout{ProducerCols: 1, RouterUpCol: 1, RouterDownCol: 2})
+	fewConsumers := ModelBandwidth(Layout{ProducerCols: 5, RouterUpCol: 5, RouterDownCol: 6})
+	if fewProducers >= def {
+		t.Fatalf("1 producer column (%.2f GB/s) should not beat the default (%.2f GB/s)",
+			fewProducers/1e9, def/1e9)
+	}
+	if fewConsumers >= def {
+		t.Fatalf("1 consumer column (%.2f GB/s) should not beat the default (%.2f GB/s)",
+			fewConsumers/1e9, def/1e9)
+	}
+}
+
+// TestLayoutSPMBudgetScalesWithConsumers: fewer consumer columns means a
+// smaller destination budget (Section 4.3's SPM arithmetic).
+func TestLayoutSPMBudgetScalesWithConsumers(t *testing.T) {
+	wide := Layout{ProducerCols: 1, RouterUpCol: 1, RouterDownCol: 2}   // 40 consumers
+	narrow := Layout{ProducerCols: 5, RouterUpCol: 5, RouterDownCol: 6} // 8 consumers
+	wideMax := sw.MaxDirectDestinations(wide.NumConsumers(), sw.DMASaturationChunk)
+	narrowMax := sw.MaxDirectDestinations(narrow.NumConsumers(), sw.DMASaturationChunk)
+	if wideMax <= narrowMax {
+		t.Fatalf("budgets inverted: %d (40 consumers) vs %d (8)", wideMax, narrowMax)
+	}
+	if narrowMax != 8*64 {
+		t.Fatalf("8-consumer budget = %d, want 512", narrowMax)
+	}
+}

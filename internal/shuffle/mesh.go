@@ -1,0 +1,351 @@
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+
+	"swbfs/internal/sw"
+)
+
+// Record is one shuffled datum: a destination index (a remote node in the
+// BFS use case) and a 16-byte payload (a (parent, child) vertex pair).
+type Record struct {
+	Dest    int
+	Payload [2]uint64
+}
+
+// RecordBytes is the payload size used for bandwidth accounting: the
+// 16-byte (u, v) pair of the BFS messages.
+const RecordBytes = 16
+
+// BatchRecords is how many records fill one 256-byte DMA batch.
+const BatchRecords = sw.DMASaturationChunk / RecordBytes
+
+// Register message encoding: Data[0] carries the kind, Data[1] the
+// destination, Data[2:4] the payload.
+const (
+	msgData = iota
+	msgDone
+)
+
+func encode(r Record) sw.RegMsg {
+	return sw.RegMsg{Data: [4]uint64{msgData, uint64(r.Dest), r.Payload[0], r.Payload[1]}}
+}
+
+func encodeDone() sw.RegMsg { return sw.RegMsg{Data: [4]uint64{msgDone}} }
+
+func decode(m sw.RegMsg) (Record, bool) {
+	if m.Data[0] == msgDone {
+		return Record{}, false
+	}
+	return Record{Dest: int(m.Data[1]), Payload: [2]uint64{m.Data[2], m.Data[3]}}, true
+}
+
+// MeshResult is what a cycle-level shuffle run produces: the records each
+// consumer wrote to main memory (in write order) plus the run statistics.
+type MeshResult struct {
+	ByConsumer [][]Record // indexed by dense consumer index
+	Stats      sw.ClusterStats
+}
+
+// Throughput returns the end-to-end shuffle bandwidth in bytes/second:
+// payload bytes moved from input to output per modelled second. The paper
+// measures 10 GB/s against a 14.5 GB/s theoretical ceiling.
+func (r *MeshResult) Throughput() float64 {
+	var records int
+	for _, c := range r.ByConsumer {
+		records += len(c)
+	}
+	secs := r.Stats.Seconds()
+	if secs == 0 {
+		return 0
+	}
+	return float64(records*RecordBytes) / secs
+}
+
+// RunMesh executes a full contention-free shuffle of the given records on
+// the cycle-stepped cluster simulator. Records are distributed round-robin
+// over the producers (standing in for the partitioned input each producer
+// DMA-reads). numDest is the number of shuffle destinations; it must fit
+// the consumers' SPM budget (use sw.MaxDirectDestinations to size it).
+//
+// The returned error is non-nil on deadlock, illegal routes, or SPM
+// overflow — the three failure modes the paper's design rules out.
+func RunMesh(layout Layout, records []Record, numDest int) (*MeshResult, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if numDest <= 0 {
+		return nil, fmt.Errorf("shuffle: numDest must be positive, got %d", numDest)
+	}
+	for i, r := range records {
+		if r.Dest < 0 || r.Dest >= numDest {
+			return nil, fmt.Errorf("shuffle: record %d destination %d out of range [0, %d)", i, r.Dest, numDest)
+		}
+	}
+
+	result := &MeshResult{ByConsumer: make([][]Record, layout.NumConsumers())}
+
+	programs := make([]sw.Program, sw.CPEsPerCluster)
+	// Partition the input round-robin over producers.
+	producerIDs := layout.ProducerIDs()
+	perProducer := make(map[int][]Record, len(producerIDs))
+	for i, r := range records {
+		id := producerIDs[i%len(producerIDs)]
+		perProducer[id] = append(perProducer[id], r)
+	}
+	for _, id := range producerIDs {
+		programs[id] = newProducerProgram(layout, id, perProducer[id])
+	}
+	for row := 0; row < sw.MeshRows; row++ {
+		up := sw.ID(row, layout.RouterUpCol)
+		down := sw.ID(row, layout.RouterDownCol)
+		programs[up] = newRouterProgram(layout, up, true)
+		programs[down] = newRouterProgram(layout, down, false)
+	}
+	var spmErr error
+	for idx, id := range layout.ConsumerIDs() {
+		p, err := newConsumerProgram(layout, id, idx, numDest, result)
+		if err != nil {
+			spmErr = err
+			break
+		}
+		programs[id] = p
+	}
+	if spmErr != nil {
+		return nil, spmErr
+	}
+
+	cluster := sw.NewCluster(programs)
+	// Budget generously: consumers bottleneck at ~25 cycles/record, plus
+	// fixed protocol overhead.
+	maxCycles := int64(len(records))*200 + 1_000_000
+	stats, err := cluster.Run(maxCycles)
+	result.Stats = stats
+	if err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+// producerProgram DMA-reads its input in 256-byte batches and emits one
+// register message per record: directly to the consumer when it sits in the
+// producer's own row, otherwise to the row's up or down router.
+type producerProgram struct {
+	layout  Layout
+	id      int
+	records []Record
+	pos     int
+	doneSeq []int // remaining DONE targets
+	pending int   // records sendable before the next DMA batch
+}
+
+func newProducerProgram(layout Layout, id int, records []Record) *producerProgram {
+	row := sw.Row(id)
+	done := []int{sw.ID(row, layout.RouterUpCol), sw.ID(row, layout.RouterDownCol)}
+	for col := layout.RouterDownCol + 1; col < sw.MeshCols; col++ {
+		done = append(done, sw.ID(row, col))
+	}
+	return &producerProgram{layout: layout, id: id, records: records, doneSeq: done}
+}
+
+func (p *producerProgram) route(r Record) int {
+	consumer := p.layout.ConsumerCPE(r.Dest)
+	targetRow := sw.Row(consumer)
+	myRow := sw.Row(p.id)
+	switch {
+	case targetRow == myRow:
+		return consumer
+	case targetRow < myRow:
+		return sw.ID(myRow, p.layout.RouterUpCol)
+	default:
+		return sw.ID(myRow, p.layout.RouterDownCol)
+	}
+}
+
+func (p *producerProgram) Next(ctx *sw.CPEContext) sw.Op {
+	if p.pos < len(p.records) {
+		if p.pending == 0 {
+			// Fetch the next input batch from main memory.
+			remaining := len(p.records) - p.pos
+			batch := BatchRecords
+			if remaining < batch {
+				batch = remaining
+			}
+			p.pending = batch
+			return sw.OpDMARead{Bytes: int64(batch) * RecordBytes, Chunk: sw.DMASaturationChunk}
+		}
+		r := p.records[p.pos]
+		p.pos++
+		p.pending--
+		return sw.OpSend{Dst: p.route(r), Msg: encode(r)}
+	}
+	if len(p.doneSeq) > 0 {
+		dst := p.doneSeq[0]
+		p.doneSeq = p.doneSeq[1:]
+		return sw.OpSend{Dst: dst, Msg: encodeDone()}
+	}
+	return sw.OpHalt{}
+}
+
+// routerProgram forwards records between rows. The up router only ever
+// sends to strictly smaller rows (and to consumers in its own row); the
+// down router the reverse. Once every potential sender has signalled DONE,
+// the router propagates DONE to everything it can send to and halts.
+type routerProgram struct {
+	layout  Layout
+	id      int
+	up      bool
+	forward *sw.OpSend // in-flight store-and-forward slot
+	doneGot int
+	doneExp int
+	doneSeq []int
+}
+
+func newRouterProgram(layout Layout, id int, up bool) *routerProgram {
+	row := sw.Row(id)
+	col := sw.Col(id)
+	exp := layout.ProducerCols // producers in this row
+	var doneTargets []int
+	if up {
+		exp += sw.MeshRows - 1 - row // routers below feed upward
+		for r := row - 1; r >= 0; r-- {
+			doneTargets = append(doneTargets, sw.ID(r, col))
+		}
+	} else {
+		exp += row // routers above feed downward
+		for r := row + 1; r < sw.MeshRows; r++ {
+			doneTargets = append(doneTargets, sw.ID(r, col))
+		}
+	}
+	for c := layout.RouterDownCol + 1; c < sw.MeshCols; c++ {
+		doneTargets = append(doneTargets, sw.ID(row, c))
+	}
+	return &routerProgram{layout: layout, id: id, up: up, doneExp: exp, doneSeq: doneTargets}
+}
+
+func (p *routerProgram) Next(ctx *sw.CPEContext) sw.Op {
+	if p.forward != nil {
+		op := *p.forward
+		p.forward = nil
+		return op
+	}
+	// Absorb the message that just arrived, if any.
+	if ctx.LastFrom != sw.AnySender {
+		msg := ctx.LastMsg
+		ctx.LastFrom = sw.AnySender
+		if r, isData := decode(msg); isData {
+			consumer := p.layout.ConsumerCPE(r.Dest)
+			targetRow := sw.Row(consumer)
+			myRow := sw.Row(p.id)
+			var dst int
+			switch {
+			case targetRow == myRow:
+				dst = consumer
+			case targetRow < myRow && p.up:
+				dst = sw.ID(targetRow, sw.Col(p.id))
+			case targetRow > myRow && !p.up:
+				dst = sw.ID(targetRow, sw.Col(p.id))
+			default:
+				panic(fmt.Sprintf("shuffle: router %d (up=%v) asked to route against its direction (target row %d)",
+					p.id, p.up, targetRow))
+			}
+			return sw.OpSend{Dst: dst, Msg: msg}
+		}
+		p.doneGot++
+	}
+	if p.doneGot >= p.doneExp {
+		if len(p.doneSeq) > 0 {
+			dst := p.doneSeq[0]
+			p.doneSeq = p.doneSeq[1:]
+			return sw.OpSend{Dst: dst, Msg: encodeDone()}
+		}
+		return sw.OpHalt{}
+	}
+	return sw.OpRecv{From: sw.AnySender}
+}
+
+// consumerProgram buffers records per destination in its SPM and writes full
+// 256-byte batches to its private main-memory region with DMA. No other
+// consumer ever writes the same destination, so no atomics are needed.
+type consumerProgram struct {
+	layout   Layout
+	id       int
+	index    int
+	result   *MeshResult
+	buffers  map[int][]Record // per owned destination
+	doneGot  int
+	doneExp  int
+	flushing []int // destinations with residual data at shutdown
+}
+
+func newConsumerProgram(layout Layout, id, index, numDest int, result *MeshResult) (*consumerProgram, error) {
+	// Reserve SPM for this consumer's share of the destination buffers;
+	// overflow here is the exact failure that caps Direct-CPE scaling.
+	owned := 0
+	for d := index; d < numDest; d += layout.NumConsumers() {
+		owned++
+	}
+	spm := sw.NewSPM()
+	if owned > 0 {
+		if err := sw.ConsumerBufferPlan(spm, owned, sw.DMASaturationChunk); err != nil {
+			return nil, fmt.Errorf("shuffle: consumer %d cannot buffer %d destinations: %w", index, owned, err)
+		}
+	}
+	// Every producer in the row plus the two routers of the row may send
+	// to this consumer, and each sends exactly one DONE.
+	doneExp := layout.ProducerCols + 2
+	return &consumerProgram{
+		layout:  layout,
+		id:      id,
+		index:   index,
+		result:  result,
+		buffers: make(map[int][]Record),
+		doneExp: doneExp,
+	}, nil
+}
+
+func (p *consumerProgram) Next(ctx *sw.CPEContext) sw.Op {
+	if ctx.LastFrom != sw.AnySender {
+		msg := ctx.LastMsg
+		ctx.LastFrom = sw.AnySender
+		if r, isData := decode(msg); isData {
+			if p.layout.ConsumerIndex(r.Dest) != p.index {
+				panic(fmt.Sprintf("shuffle: consumer %d received record for destination %d owned by consumer %d",
+					p.index, r.Dest, p.layout.ConsumerIndex(r.Dest)))
+			}
+			p.buffers[r.Dest] = append(p.buffers[r.Dest], r)
+			if len(p.buffers[r.Dest]) >= BatchRecords {
+				p.result.ByConsumer[p.index] = append(p.result.ByConsumer[p.index], p.buffers[r.Dest]...)
+				p.buffers[r.Dest] = p.buffers[r.Dest][:0]
+				// Asynchronous (double-buffered) DMA: keep receiving
+				// while the batch drains to main memory.
+				return sw.OpDMAWriteAsync{Bytes: sw.DMASaturationChunk, Chunk: sw.DMASaturationChunk}
+			}
+		} else {
+			p.doneGot++
+		}
+	}
+	if p.doneGot >= p.doneExp {
+		// Flush residual partial batches, then halt.
+		if p.flushing == nil {
+			p.flushing = []int{}
+			for d, buf := range p.buffers {
+				if len(buf) > 0 {
+					p.flushing = append(p.flushing, d)
+				}
+			}
+			sort.Ints(p.flushing) // deterministic flush order
+		}
+		if len(p.flushing) > 0 {
+			d := p.flushing[0]
+			p.flushing = p.flushing[1:]
+			buf := p.buffers[d]
+			p.result.ByConsumer[p.index] = append(p.result.ByConsumer[p.index], buf...)
+			p.buffers[d] = nil
+			return sw.OpDMAWriteAsync{Bytes: int64(len(buf)) * RecordBytes, Chunk: sw.DMASaturationChunk}
+		}
+		return sw.OpHalt{}
+	}
+	return sw.OpRecv{From: sw.AnySender}
+}

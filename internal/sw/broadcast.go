@@ -1,0 +1,111 @@
+package sw
+
+// Cluster-wide flag broadcast (Section 4.2): "when an MPE notifies a CPE
+// cluster, the MPE sets a flag in memory of a representative CPE in the
+// cluster. Then the representative CPE gets the notification in memory and
+// broadcasts the flag to all other CPEs in the cluster."
+//
+// On the row/column mesh the broadcast takes two stages: the
+// representative (CPE 0) sends along its row to every column head, then
+// each column head sends down its column. BroadcastPrograms builds the
+// per-CPE programs; the cluster run's cycle count is the broadcast
+// latency, which backs the mesh term of FlagNotifyLatencySeconds.
+
+// BroadcastPrograms returns programs that broadcast one register message
+// from CPE 0 to all 63 other CPEs. onReceive (optional) observes each
+// delivery.
+func BroadcastPrograms(msg RegMsg, onReceive func(cpe int, msg RegMsg)) []Program {
+	programs := make([]Program, CPEsPerCluster)
+
+	// Representative (0,0): send to each row-0 peer (column heads).
+	programs[0] = &broadcastRoot{msg: msg}
+
+	for col := 1; col < MeshCols; col++ {
+		programs[ID(0, col)] = &broadcastHead{col: col, onReceive: onReceive}
+	}
+	// Column 0's body is fed by the representative itself (it is column
+	// 0's head): give it head behaviour for its own column.
+	programs[0] = &broadcastRoot{msg: msg}
+
+	for row := 1; row < MeshRows; row++ {
+		for col := 0; col < MeshCols; col++ {
+			programs[ID(row, col)] = &broadcastLeaf{onReceive: onReceive}
+		}
+	}
+	return programs
+}
+
+type broadcastRoot struct {
+	msg  RegMsg
+	step int
+}
+
+func (b *broadcastRoot) Next(ctx *CPEContext) Op {
+	// Stage 1: row 0 fan-out to columns 1..7; stage 2: column 0 fan-down.
+	if b.step < MeshCols-1 {
+		b.step++
+		return OpSend{Dst: ID(0, b.step), Msg: b.msg}
+	}
+	row := b.step - (MeshCols - 1) + 1
+	if row < MeshRows {
+		b.step++
+		return OpSend{Dst: ID(row, 0), Msg: b.msg}
+	}
+	return OpHalt{}
+}
+
+type broadcastHead struct {
+	col       int
+	onReceive func(int, RegMsg)
+	got       bool
+	row       int
+}
+
+func (b *broadcastHead) Next(ctx *CPEContext) Op {
+	if !b.got {
+		if ctx.LastFrom != AnySender {
+			b.got = true
+			if b.onReceive != nil {
+				b.onReceive(ctx.ID, ctx.LastMsg)
+			}
+			b.row = 1
+		} else {
+			return OpRecv{From: 0}
+		}
+	}
+	if b.row >= 1 && b.row < MeshRows {
+		dst := ID(b.row, b.col)
+		b.row++
+		return OpSend{Dst: dst, Msg: ctx.LastMsg}
+	}
+	return OpHalt{}
+}
+
+type broadcastLeaf struct {
+	onReceive func(int, RegMsg)
+	done      bool
+}
+
+func (b *broadcastLeaf) Next(ctx *CPEContext) Op {
+	if b.done {
+		return OpHalt{}
+	}
+	if ctx.LastFrom != AnySender {
+		b.done = true
+		if b.onReceive != nil {
+			b.onReceive(ctx.ID, ctx.LastMsg)
+		}
+		return OpHalt{}
+	}
+	return OpRecv{From: AnySender}
+}
+
+// BroadcastLatencyCycles runs the broadcast on the cycle simulator and
+// returns how many cycles it took to reach all 63 CPEs.
+func BroadcastLatencyCycles(msg RegMsg) (int64, error) {
+	stats, err := NewCluster(BroadcastPrograms(msg, nil)).Run(1 << 16)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Cycles, nil
+}

@@ -1,0 +1,193 @@
+package sw
+
+import (
+	"errors"
+	"testing"
+)
+
+// seqProgram runs a fixed list of ops.
+type seqProgram struct {
+	ops []Op
+	pos int
+	// onRecv, if set, is called after each completed Recv with the message.
+	onRecv func(from int, msg RegMsg)
+}
+
+func (p *seqProgram) Next(ctx *CPEContext) Op {
+	if p.pos > 0 {
+		if _, wasRecv := p.ops[p.pos-1].(OpRecv); wasRecv && p.onRecv != nil {
+			p.onRecv(ctx.LastFrom, ctx.LastMsg)
+		}
+	}
+	if p.pos >= len(p.ops) {
+		return OpHalt{}
+	}
+	op := p.ops[p.pos]
+	p.pos++
+	return op
+}
+
+func TestClusterSimpleRendezvous(t *testing.T) {
+	var got RegMsg
+	var from int
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = &seqProgram{ops: []Op{OpSend{Dst: 1, Msg: RegMsg{Data: [4]uint64{1, 2, 3, 4}}}}}
+	programs[1] = &seqProgram{
+		ops:    []Op{OpRecv{From: AnySender}},
+		onRecv: func(f int, m RegMsg) { from, got = f, m },
+	}
+	stats, err := NewCluster(programs).Run(1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if from != 0 || got.Data != [4]uint64{1, 2, 3, 4} {
+		t.Fatalf("received from %d msg %v", from, got)
+	}
+	if stats.RegisterTransfers != 1 {
+		t.Fatalf("RegisterTransfers = %d, want 1", stats.RegisterTransfers)
+	}
+}
+
+func TestClusterIllegalRoute(t *testing.T) {
+	programs := make([]Program, CPEsPerCluster)
+	// CPE 0 (row 0, col 0) -> CPE 9 (row 1, col 1): no shared row/column.
+	programs[0] = &seqProgram{ops: []Op{OpSend{Dst: 9}}}
+	programs[9] = &seqProgram{ops: []Op{OpRecv{From: AnySender}}}
+	_, err := NewCluster(programs).Run(1000)
+	var route *IllegalRouteError
+	if !errors.As(err, &route) {
+		t.Fatalf("error = %v, want IllegalRouteError", err)
+	}
+	if route.Src != 0 || route.Dst != 9 {
+		t.Fatalf("route = %+v", route)
+	}
+}
+
+func TestClusterDeadlockDetection(t *testing.T) {
+	// Classic cycle: 0 sends to 1 while 1 sends to 0; neither ever
+	// receives. This is exactly the deadlock the paper warns arises from
+	// arbitrary communication patterns (Section 3.1).
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = &seqProgram{ops: []Op{OpSend{Dst: 1}, OpRecv{From: 1}}}
+	programs[1] = &seqProgram{ops: []Op{OpSend{Dst: 0}, OpRecv{From: 0}}}
+	_, err := NewCluster(programs).Run(10000)
+	var deadlock *DeadlockError
+	if !errors.As(err, &deadlock) {
+		t.Fatalf("error = %v, want DeadlockError", err)
+	}
+	if len(deadlock.Blocked) != 2 {
+		t.Fatalf("blocked set = %+v, want both CPEs", deadlock.Blocked)
+	}
+	if deadlock.Blocked[0].WaitsOn != 1 || deadlock.Blocked[1].WaitsOn != 0 {
+		t.Fatalf("wait-for edges wrong: %+v", deadlock.Blocked)
+	}
+}
+
+func TestClusterRecvSpecificSender(t *testing.T) {
+	// CPE 2 receives only from 1; the send from 0 must wait until CPE 2's
+	// second recv (wildcard).
+	order := []int{}
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = &seqProgram{ops: []Op{OpSend{Dst: 2, Msg: RegMsg{Data: [4]uint64{100}}}}}
+	programs[1] = &seqProgram{ops: []Op{OpCompute{Cycles: 10}, OpSend{Dst: 2, Msg: RegMsg{Data: [4]uint64{200}}}}}
+	programs[2] = &seqProgram{
+		ops:    []Op{OpRecv{From: 1}, OpRecv{From: AnySender}},
+		onRecv: func(f int, m RegMsg) { order = append(order, int(m.Data[0])) },
+	}
+	if _, err := NewCluster(programs).Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != 200 || order[1] != 100 {
+		t.Fatalf("delivery order = %v, want [200 100]", order)
+	}
+}
+
+func TestClusterComputeTiming(t *testing.T) {
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = &seqProgram{ops: []Op{OpCompute{Cycles: 500}}}
+	stats, err := NewCluster(programs).Run(10000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Cycles < 500 || stats.Cycles > 510 {
+		t.Fatalf("Cycles = %d, want ~500", stats.Cycles)
+	}
+	if stats.ComputeCycles != 500 {
+		t.Fatalf("ComputeCycles = %d, want 500", stats.ComputeCycles)
+	}
+}
+
+func TestClusterDMAAccounting(t *testing.T) {
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = &seqProgram{ops: []Op{OpDMARead{Bytes: 4096, Chunk: 256}, OpDMAWrite{Bytes: 1024, Chunk: 256}}}
+	stats, err := NewCluster(programs).Run(1 << 20)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.DMAReadBytes != 4096 || stats.DMAWriteBytes != 1024 {
+		t.Fatalf("DMA bytes = %d/%d, want 4096/1024", stats.DMAReadBytes, stats.DMAWriteBytes)
+	}
+	// 16 requests of 256 B at 250 ns latency each is ~5800 cycles minimum.
+	if stats.Cycles < 5000 {
+		t.Fatalf("DMA too fast: %d cycles", stats.Cycles)
+	}
+}
+
+func TestClusterMaxCyclesGuard(t *testing.T) {
+	programs := make([]Program, CPEsPerCluster)
+	programs[0] = ProgramFunc(func(ctx *CPEContext) Op { return OpCompute{Cycles: 1} })
+	if _, err := NewCluster(programs).Run(100); err == nil {
+		t.Fatal("runaway program not stopped by cycle limit")
+	}
+}
+
+func TestClusterInvalidOps(t *testing.T) {
+	cases := map[string]Op{
+		"send to self":     OpSend{Dst: 0},
+		"send out of mesh": OpSend{Dst: 99},
+		"recv from bogus":  OpRecv{From: 99},
+	}
+	for name, op := range cases {
+		t.Run(name, func(t *testing.T) {
+			programs := make([]Program, CPEsPerCluster)
+			programs[0] = &seqProgram{ops: []Op{op}}
+			if _, err := NewCluster(programs).Run(100); err == nil {
+				t.Fatal("invalid op accepted")
+			}
+		})
+	}
+}
+
+func TestClusterEmptyHaltsImmediately(t *testing.T) {
+	stats, err := NewCluster(nil).Run(100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Cycles != 0 {
+		t.Fatalf("empty cluster ran %d cycles", stats.Cycles)
+	}
+}
+
+func TestClusterOneTransferPerCPEPerCycle(t *testing.T) {
+	// Two senders target the same receiver; the receiver can accept only
+	// one message per cycle, so two recvs take at least two cycles and
+	// both messages arrive.
+	var got []uint64
+	programs := make([]Program, CPEsPerCluster)
+	programs[1] = &seqProgram{ops: []Op{OpSend{Dst: 0, Msg: RegMsg{Data: [4]uint64{1}}}}}
+	programs[2] = &seqProgram{ops: []Op{OpSend{Dst: 0, Msg: RegMsg{Data: [4]uint64{2}}}}}
+	programs[0] = &seqProgram{
+		ops:    []Op{OpRecv{From: AnySender}, OpRecv{From: AnySender}},
+		onRecv: func(f int, m RegMsg) { got = append(got, m.Data[0]) },
+	}
+	stats, err := NewCluster(programs).Run(1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d messages, want 2", len(got))
+	}
+	if stats.RegisterTransfers != 2 {
+		t.Fatalf("RegisterTransfers = %d, want 2", stats.RegisterTransfers)
+	}
+}

@@ -1,0 +1,137 @@
+package sw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterDMASaturatesAt256B(t *testing.T) {
+	// Figure 3: "A CPE cluster can get the desired bandwidth with a chunk
+	// size equal to or larger than 256 Bytes."
+	at256 := ClusterDMABandwidth(256)
+	if at256 < 0.99*ClusterPeakDMABandwidth {
+		t.Fatalf("bandwidth at 256 B = %.2f GB/s, want ~%.1f GB/s",
+			at256/1e9, ClusterPeakDMABandwidth/1e9)
+	}
+	for _, chunk := range []int64{512, 1024, 4096, 16384} {
+		if bw := ClusterDMABandwidth(chunk); bw != at256 {
+			t.Errorf("bandwidth at %d B = %.2f GB/s, want saturated %.2f GB/s",
+				chunk, bw/1e9, at256/1e9)
+		}
+	}
+	// Below saturation the curve must fall off meaningfully.
+	if bw := ClusterDMABandwidth(32); bw > 0.6*ClusterPeakDMABandwidth {
+		t.Errorf("bandwidth at 32 B = %.2f GB/s, expected well below peak", bw/1e9)
+	}
+}
+
+func TestDMABandwidthMonotonicInChunk(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ca, cb := int64(a)+1, int64(b)+1
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return DMABandwidth(ca, CPEsPerCluster) <= DMABandwidth(cb, CPEsPerCluster)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMABandwidthAcceptableAt16CPEs(t *testing.T) {
+	// Figure 5: "16 CPEs can generate an acceptable memory access
+	// bandwidth" — near peak, with the curve flattening beyond.
+	at16 := DMABandwidth(256, SaturatingCPECount)
+	if at16 < 0.85*ClusterPeakDMABandwidth {
+		t.Fatalf("16-CPE bandwidth %.2f GB/s, want >= 85%% of %.2f GB/s",
+			at16/1e9, ClusterPeakDMABandwidth/1e9)
+	}
+	if full := DMABandwidth(256, CPEsPerCluster); full < 0.999*ClusterPeakDMABandwidth {
+		t.Fatalf("full-cluster bandwidth %.2f GB/s, want peak", full/1e9)
+	}
+	// Monotone in CPE count, with steep growth below the knee.
+	prev := 0.0
+	for n := 1; n <= CPEsPerCluster; n++ {
+		bw := DMABandwidth(256, n)
+		if bw < prev {
+			t.Fatalf("bandwidth decreased at %d CPEs", n)
+		}
+		prev = bw
+	}
+	if DMABandwidth(256, 4) > 0.6*ClusterPeakDMABandwidth {
+		t.Error("4 CPEs should be well below peak bandwidth")
+	}
+	if DMABandwidth(256, 1) > 0.1*ClusterPeakDMABandwidth {
+		t.Error("a single CPE should be far below cluster bandwidth")
+	}
+}
+
+func TestCPEClusterTenTimesMPE(t *testing.T) {
+	// Section 3.2: "the speed CPE clusters accessing the memory is 10
+	// times faster than the MPE" (28.9 vs 9.4 GB/s peak envelope, with the
+	// 10x quoted against sub-peak MPE operation).
+	ratio := ClusterPeakDMABandwidth / MPEPeakBandwidth
+	if ratio < 2.5 || ratio > 10 {
+		t.Fatalf("cluster/MPE peak ratio %.2f outside the published envelope", ratio)
+	}
+	if MPEBandwidth(256) > MPEPeakBandwidth {
+		t.Fatal("MPE bandwidth exceeds its published peak")
+	}
+	if MPEBandwidth(256) < 0.9*MPEPeakBandwidth {
+		t.Fatalf("MPE at 256 B batches = %.2f GB/s, want near %.1f GB/s",
+			MPEBandwidth(256)/1e9, MPEPeakBandwidth/1e9)
+	}
+}
+
+func TestDMADegenerateInputs(t *testing.T) {
+	if DMABandwidth(0, 64) != 0 || DMABandwidth(256, 0) != 0 {
+		t.Error("degenerate inputs must yield zero bandwidth")
+	}
+	if MPEBandwidth(0) != 0 {
+		t.Error("zero chunk must yield zero MPE bandwidth")
+	}
+	if DMATime(0, 256, 64) != 0 || MPETime(0, 256) != 0 {
+		t.Error("zero bytes must take zero time")
+	}
+	if DMABandwidth(256, 128) != DMABandwidth(256, CPEsPerCluster) {
+		t.Error("CPE count must clamp at cluster size")
+	}
+}
+
+func TestDMATimeScalesLinearly(t *testing.T) {
+	t1 := DMATime(1<<20, 256, 64)
+	t2 := DMATime(2<<20, 256, 64)
+	if t2 <= t1 || t2 > 2.01*t1 || t2 < 1.99*t1 {
+		t.Fatalf("DMA time not linear: %v vs %v", t1, t2)
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	if got := CyclesToSeconds(int64(ClockHz)); got != 1.0 {
+		t.Fatalf("CyclesToSeconds(clock) = %v, want 1", got)
+	}
+	if got := SecondsToCycles(1.0); got != int64(ClockHz) {
+		t.Fatalf("SecondsToCycles(1) = %d, want %d", got, int64(ClockHz))
+	}
+	// Round-up behaviour.
+	if got := SecondsToCycles(1.5 / ClockHz); got != 2 {
+		t.Fatalf("SecondsToCycles(1.5 cycles) = %d, want 2", got)
+	}
+}
+
+func TestMeshGeometry(t *testing.T) {
+	if !SameRowOrCol(0, 7) {
+		t.Error("0 and 7 share row 0")
+	}
+	if !SameRowOrCol(0, 56) {
+		t.Error("0 and 56 share column 0")
+	}
+	if SameRowOrCol(0, 9) {
+		t.Error("0 and 9 share nothing")
+	}
+	for id := 0; id < CPEsPerCluster; id++ {
+		if ID(Row(id), Col(id)) != id {
+			t.Fatalf("Row/Col/ID round trip broken for %d", id)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sw
+
+// MPE-side modelling: the management processing element is a single-threaded
+// general-purpose core. It cannot afford system interrupts (~10 us), so MPEs
+// and CPE clusters notify each other through memory flags that the peer
+// busy-polls (Section 4.2), and inside a cluster the representative CPE
+// broadcasts the flag over the register bus.
+
+// FlagNotifyLatencySeconds is the modelled latency of the busy-wait polling
+// notification: one main-memory write by the notifier, one polled read by
+// the representative CPE, plus a register-bus broadcast across the cluster
+// (a row send and a column send reach all 64 CPEs in two stages).
+func FlagNotifyLatencySeconds() float64 {
+	memory := 2 * float64(MainMemoryLatencyCycles) / ClockHz
+	broadcast := float64(MeshRows+MeshCols) / ClockHz
+	return memory + broadcast
+}
+
+// NotifySpeedupOverInterrupt returns how much faster flag polling is than a
+// system interrupt; the paper's rationale for never using interrupts.
+func NotifySpeedupOverInterrupt() float64 {
+	return InterruptLatencySeconds / FlagNotifyLatencySeconds()
+}
+
+// SmallMessageThresholdBytes is the module-input size below which work is
+// done directly on the MPE instead of dispatching a CPE cluster (Section 5:
+// 1 KB, "calculated based on the notification overhead and the memory
+// access ability difference between the MPEs and the CPE clusters").
+const SmallMessageThresholdBytes = 1 << 10
+
+// ProcessOnMPE reports whether a module input of the given size should be
+// handled by the MPE directly (the "quick processing for small messages"
+// implementation detail).
+func ProcessOnMPE(inputBytes int64) bool {
+	return inputBytes < SmallMessageThresholdBytes
+}
+
+// ModuleDispatchTime models the time for a module invocation of inputBytes
+// on either engine: the MPE path is pure streaming at MPE bandwidth; the CPE
+// path pays the notification latency, then streams at cluster DMA bandwidth.
+// The crossover of the two curves sits near SmallMessageThresholdBytes,
+// which is how the paper derived the 1 KB threshold.
+func ModuleDispatchTime(inputBytes int64, onMPE bool) float64 {
+	if inputBytes <= 0 {
+		return 0
+	}
+	if onMPE {
+		return MPETime(inputBytes, DMASaturationChunk)
+	}
+	return FlagNotifyLatencySeconds() + DMATime(inputBytes, DMASaturationChunk, CPEsPerCluster)
+}

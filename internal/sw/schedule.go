@@ -1,0 +1,118 @@
+package sw
+
+import "sort"
+
+// Module scheduling (Sections 4.2 and 4.4): each node maps BFS modules
+// onto its CGsPerNode CPE clusters "whenever one is available" under a
+// first-come-first-serve policy, with two rules from the paper:
+//
+//   - "no more than one CPE cluster executes the same module in one node
+//     at any time" (modules are serialized with themselves);
+//   - when every cluster is busy (the Bottom-Up traversal has five modules
+//     but only four clusters), the module is processed on the MPE instead,
+//     avoiding scheduling deadlock — "this rarely occurs because the local
+//     processing speed in CPEs is faster, on average, than the network".
+//
+// ModuleJob is one module invocation: its arrival order is the FCFS queue
+// order; CPECycles/MPECycles are its execution costs on either engine.
+
+// ModuleJob describes one module invocation to schedule.
+type ModuleJob struct {
+	// Name labels the module (diagnostics only).
+	Name string
+	// CPESeconds and MPESeconds are the execution times on a CPE cluster
+	// and on the MPE respectively.
+	CPESeconds, MPESeconds float64
+}
+
+// Placement records where a job ran.
+type Placement struct {
+	Job     ModuleJob
+	OnMPE   bool
+	Cluster int     // valid when !OnMPE
+	Start   float64 // seconds from level start
+	End     float64
+}
+
+// ScheduleResult is the outcome of scheduling one node's level.
+type ScheduleResult struct {
+	Placements []Placement
+	// Makespan is when the last module finishes.
+	Makespan float64
+	// MPEFallbacks counts jobs pushed to the MPE.
+	MPEFallbacks int
+}
+
+// ScheduleModules runs the FCFS policy over the jobs (in arrival order) on
+// `clusters` CPE clusters (CGsPerNode on the real node). A job falls back
+// to the MPE when every cluster is busy and running it there finishes no
+// later than waiting for the earliest cluster.
+func ScheduleModules(jobs []ModuleJob, clusters int) ScheduleResult {
+	if clusters <= 0 {
+		clusters = CGsPerNode
+	}
+	free := make([]float64, clusters) // time each cluster becomes free
+	var res ScheduleResult
+	for _, job := range jobs {
+		// Earliest available cluster.
+		best := 0
+		for c := 1; c < clusters; c++ {
+			if free[c] < free[best] {
+				best = c
+			}
+		}
+		arrival := 0.0 // FCFS within a level: jobs are ready at level start
+		startCPE := free[best]
+		if startCPE < arrival {
+			startCPE = arrival
+		}
+		endCPE := startCPE + job.CPESeconds
+		endMPE := arrival + job.MPESeconds
+
+		if free[best] > arrival && endMPE <= endCPE {
+			// All clusters busy and the MPE finishes no later: fall back.
+			res.Placements = append(res.Placements, Placement{
+				Job: job, OnMPE: true, Start: arrival, End: endMPE,
+			})
+			res.MPEFallbacks++
+			if endMPE > res.Makespan {
+				res.Makespan = endMPE
+			}
+			continue
+		}
+		free[best] = endCPE
+		res.Placements = append(res.Placements, Placement{
+			Job: job, Cluster: best, Start: startCPE, End: endCPE,
+		})
+		if endCPE > res.Makespan {
+			res.Makespan = endCPE
+		}
+	}
+	return res
+}
+
+// MakespanForBytes is the perf-model entry point: given the per-module
+// input volumes of one node's level, it converts bytes to execution times
+// on both engines (CPE-cluster shuffle bandwidth vs MPE record processing,
+// plus the notification latency for cluster dispatch) and returns the FCFS
+// makespan on the node's four clusters.
+//
+// cpeBandwidth and mpeBandwidth are bytes/second; moduleBytes entries of
+// zero are skipped. Modules are sorted descending so the heaviest work is
+// dispatched first, matching the profile-driven behaviour the paper
+// describes (generators start before handlers have input).
+func MakespanForBytes(moduleBytes []int64, cpeBandwidth, mpeBandwidth float64) float64 {
+	jobs := make([]ModuleJob, 0, len(moduleBytes))
+	sorted := append([]int64(nil), moduleBytes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for _, b := range sorted {
+		if b <= 0 {
+			continue
+		}
+		jobs = append(jobs, ModuleJob{
+			CPESeconds: FlagNotifyLatencySeconds() + float64(b)/cpeBandwidth,
+			MPESeconds: float64(b) / mpeBandwidth,
+		})
+	}
+	return ScheduleModules(jobs, CGsPerNode).Makespan
+}

@@ -1,0 +1,124 @@
+package sw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleSingleJob(t *testing.T) {
+	res := ScheduleModules([]ModuleJob{{Name: "fwdgen", CPESeconds: 2, MPESeconds: 20}}, 4)
+	if len(res.Placements) != 1 || res.Placements[0].OnMPE {
+		t.Fatalf("placements = %+v", res.Placements)
+	}
+	if res.Makespan != 2 || res.MPEFallbacks != 0 {
+		t.Fatalf("makespan %v, fallbacks %d", res.Makespan, res.MPEFallbacks)
+	}
+}
+
+func TestScheduleFourJobsRunInParallel(t *testing.T) {
+	jobs := make([]ModuleJob, 4)
+	for i := range jobs {
+		jobs[i] = ModuleJob{CPESeconds: 3, MPESeconds: 30}
+	}
+	res := ScheduleModules(jobs, 4)
+	if res.Makespan != 3 {
+		t.Fatalf("makespan %v, want 3 (full parallelism)", res.Makespan)
+	}
+	used := map[int]bool{}
+	for _, p := range res.Placements {
+		if p.OnMPE {
+			t.Fatal("unnecessary MPE fallback")
+		}
+		if used[p.Cluster] {
+			t.Fatal("cluster double-booked")
+		}
+		used[p.Cluster] = true
+	}
+}
+
+// TestScheduleFifthModuleFallsBack mirrors the paper's Bottom-Up case:
+// five modules, four clusters — the fifth goes to the MPE when that
+// finishes no later than queueing.
+func TestScheduleFifthModuleFallsBack(t *testing.T) {
+	jobs := make([]ModuleJob, 5)
+	for i := range jobs {
+		jobs[i] = ModuleJob{CPESeconds: 10, MPESeconds: 12}
+	}
+	res := ScheduleModules(jobs, 4)
+	if res.MPEFallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", res.MPEFallbacks)
+	}
+	// MPE run (12) beats waiting for a cluster (10 + 10 = 20).
+	if res.Makespan != 12 {
+		t.Fatalf("makespan %v, want 12", res.Makespan)
+	}
+}
+
+func TestScheduleQueuesWhenMPESlower(t *testing.T) {
+	// The MPE path is 10x slower here, so queueing wins.
+	jobs := make([]ModuleJob, 5)
+	for i := range jobs {
+		jobs[i] = ModuleJob{CPESeconds: 10, MPESeconds: 100}
+	}
+	res := ScheduleModules(jobs, 4)
+	if res.MPEFallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", res.MPEFallbacks)
+	}
+	if res.Makespan != 20 {
+		t.Fatalf("makespan %v, want 20 (queued)", res.Makespan)
+	}
+}
+
+// Property: the makespan is at least the heaviest single placement's
+// duration and at most the serial sum, and every placement fits inside
+// the makespan.
+func TestScheduleProperty(t *testing.T) {
+	f := func(durations []uint16) bool {
+		jobs := make([]ModuleJob, 0, len(durations))
+		var serial float64
+		for _, d := range durations {
+			sec := float64(d%1000) / 100
+			jobs = append(jobs, ModuleJob{CPESeconds: sec, MPESeconds: 10 * sec})
+			serial += sec
+		}
+		res := ScheduleModules(jobs, 4)
+		if res.Makespan > 10*serial+1e-9 {
+			return false
+		}
+		for _, p := range res.Placements {
+			if p.End > res.Makespan+1e-9 || p.Start < 0 || p.End < p.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleDefaultsClusters(t *testing.T) {
+	res := ScheduleModules([]ModuleJob{{CPESeconds: 1, MPESeconds: 1}}, 0)
+	if len(res.Placements) != 1 {
+		t.Fatal("default cluster count broken")
+	}
+}
+
+func TestMakespanForBytes(t *testing.T) {
+	const cpeBW, mpeBW = 10e9, 1e9
+	// One heavy module dominates.
+	heavy := MakespanForBytes([]int64{100 << 20, 0, 1 << 10}, cpeBW, mpeBW)
+	wantHeavy := FlagNotifyLatencySeconds() + float64(100<<20)/cpeBW
+	if heavy < wantHeavy || heavy > wantHeavy*1.01 {
+		t.Fatalf("heavy makespan %v, want ~%v", heavy, wantHeavy)
+	}
+	// Four equal modules run in parallel: makespan ~ one module.
+	equal := MakespanForBytes([]int64{1 << 20, 1 << 20, 1 << 20, 1 << 20}, cpeBW, mpeBW)
+	one := FlagNotifyLatencySeconds() + float64(1<<20)/cpeBW
+	if equal < one || equal > one*1.01 {
+		t.Fatalf("parallel makespan %v, want ~%v", equal, one)
+	}
+	if MakespanForBytes(nil, cpeBW, mpeBW) != 0 {
+		t.Fatal("empty module list must take zero time")
+	}
+}

@@ -1,0 +1,112 @@
+package sw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SPM is the 64 KB scratch-pad memory allocator of one CPE. Programmers on
+// the real chip must place every buffer explicitly; here the allocator
+// enforces the capacity so algorithm configurations that cannot fit —
+// e.g. Direct-CPE per-destination send buffers beyond ~1024 destinations
+// (Section 4.3) — fail exactly where the real machine does.
+type SPM struct {
+	capacity int64
+	used     int64
+	regions  map[string]int64
+}
+
+// ErrSPMOverflow is returned (wrapped) when an allocation exceeds the SPM.
+type ErrSPMOverflow struct {
+	Name      string
+	Requested int64
+	Free      int64
+}
+
+func (e *ErrSPMOverflow) Error() string {
+	return fmt.Sprintf("sw: SPM overflow allocating %q: requested %d bytes, %d free of %d",
+		e.Name, e.Requested, e.Free, SPMBytes)
+}
+
+// NewSPM returns an empty 64 KB scratch pad.
+func NewSPM() *SPM {
+	return &SPM{capacity: SPMBytes, regions: make(map[string]int64)}
+}
+
+// Alloc reserves size bytes under the given name. Allocating an existing
+// name or exceeding the remaining capacity is an error.
+func (s *SPM) Alloc(name string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("sw: negative SPM allocation %q (%d)", name, size)
+	}
+	if _, dup := s.regions[name]; dup {
+		return fmt.Errorf("sw: duplicate SPM region %q", name)
+	}
+	if s.used+size > s.capacity {
+		return &ErrSPMOverflow{Name: name, Requested: size, Free: s.capacity - s.used}
+	}
+	s.regions[name] = size
+	s.used += size
+	return nil
+}
+
+// Free releases a named region.
+func (s *SPM) Free(name string) error {
+	size, ok := s.regions[name]
+	if !ok {
+		return fmt.Errorf("sw: free of unknown SPM region %q", name)
+	}
+	delete(s.regions, name)
+	s.used -= size
+	return nil
+}
+
+// Used and Free report occupancy.
+func (s *SPM) Used() int64      { return s.used }
+func (s *SPM) Remaining() int64 { return s.capacity - s.used }
+
+// Regions lists allocations sorted by name, for diagnostics.
+func (s *SPM) Regions() []string {
+	names := make([]string, 0, len(s.regions))
+	for name := range s.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConsumerBufferPlan computes the SPM layout of one shuffle consumer that
+// must keep a batch buffer per destination. It returns an error when the
+// per-destination buffers for `destinations` destinations, batchBytes each,
+// do not fit alongside the fixed working set — the failure mode that caps
+// Direct-CPE runs at cluster scale and motivates group-based batching.
+//
+// The paper's arithmetic: 16 consumers x 64 KB SPM with 256-byte batches
+// "can handle up to 1024 destinations in practice", i.e. ~16 KB of each
+// consumer's SPM is available for destination buffers after code constants,
+// double-buffered DMA staging and control state.
+const consumerReservedBytes = 48 << 10 // staging + control overhead per consumer
+
+func ConsumerBufferPlan(spm *SPM, destinations int, batchBytes int64) error {
+	if destinations <= 0 {
+		return fmt.Errorf("sw: consumer plan needs at least one destination, got %d", destinations)
+	}
+	if batchBytes <= 0 {
+		return fmt.Errorf("sw: consumer plan needs a positive batch size, got %d", batchBytes)
+	}
+	if err := spm.Alloc("consumer/reserved", consumerReservedBytes); err != nil {
+		return err
+	}
+	return spm.Alloc("consumer/dest-buffers", int64(destinations)*batchBytes)
+}
+
+// MaxDirectDestinations returns the largest number of destinations a group
+// of `consumers` consumer CPEs can buffer with the given batch size. With
+// 16 consumers and 256-byte batches this is 1024, matching Section 4.3.
+func MaxDirectDestinations(consumers int, batchBytes int64) int {
+	if consumers <= 0 || batchBytes <= 0 {
+		return 0
+	}
+	perConsumer := (SPMBytes - consumerReservedBytes) / batchBytes
+	return int(perConsumer) * consumers
+}
