@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: build, vet, formatting, full tests, and
+# the race-detector pass over the concurrency-heavy packages.
+check: build vet fmt test race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem .

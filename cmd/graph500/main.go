@@ -18,6 +18,7 @@ import (
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
 )
 
@@ -40,6 +41,10 @@ func main() {
 		verbose    = flag.Bool("verbose", false, "print per-root and per-level detail")
 		compress   = flag.Bool("compress", false, "enable varint-delta message compression (Section 7 extension)")
 		trace      = flag.String("trace", "", "write per-root/per-level statistics as JSON lines to this file")
+		metrics    = flag.Bool("metrics", false, "print the unified metrics registry after the run (see docs/OBSERVABILITY.md)")
+		traceOut   = flag.String("trace-out", "", "write the structured per-level BFS trace (one RunTrace per root) as JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the kernel runs to this file")
+		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the kernel runs to this file")
 		kernel     = flag.String("kernel", "bfs", "benchmark kernel: bfs | sssp (Graph500 v3 second kernel)")
 		delta      = flag.Int64("delta", 0, "sssp kernel: delta-stepping bucket width (0 = Bellman-Ford)")
 	)
@@ -72,6 +77,13 @@ func main() {
 	if *compress {
 		machine.Codec = comm.VarintDeltaCodec{}
 	}
+	machine.Profile = obs.ProfileConfig{CPUProfile: *cpuprofile, ExecTrace: *exectrace}
+
+	var observer *obs.Observer
+	if *metrics || *traceOut != "" {
+		observer = obs.New()
+		machine.Obs = observer
+	}
 
 	if *kernel == "sssp" {
 		report, err := graph500.RunSSSP(graph500.SSSPBenchConfig{
@@ -94,6 +106,11 @@ func main() {
 		fmt.Printf("sssp_time:            %s\n", report.KernelTime)
 		fmt.Printf("sssp_TEPS:            %s\n", report.TEPS)
 		fmt.Printf("harmonic_mean_GTEPS:  %.4f\n", report.GTEPSHarmonicMean())
+		if observer != nil {
+			if err := emitObservability(observer, *metrics, *traceOut); err != nil {
+				fatalf("%v", err)
+			}
+		}
 		return
 	}
 	if *kernel != "bfs" {
@@ -131,6 +148,37 @@ func main() {
 			fatalf("writing trace: %v", err)
 		}
 	}
+	if observer != nil {
+		if err := emitObservability(observer, *metrics, *traceOut); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// emitObservability prints the metrics table and/or writes the structured
+// trace, verifying every run's books balance first.
+func emitObservability(observer *obs.Observer, printMetrics bool, traceOut string) error {
+	for _, run := range observer.Trace.Runs() {
+		if err := run.Reconcile(); err != nil {
+			return fmt.Errorf("trace for root %d does not reconcile: %w", run.Root, err)
+		}
+	}
+	if printMetrics {
+		fmt.Println()
+		observer.Metrics.WriteTable(os.Stdout)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := observer.Trace.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // writeTrace dumps one JSON object per BFS run (with its per-level

@@ -27,21 +27,30 @@ import (
 	"os"
 
 	"swbfs/internal/experiments"
+	"swbfs/internal/obs"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small sweeps (seconds)")
-		full   = flag.Bool("full", false, "large sweeps (minutes; up to 256 functional nodes)")
-		seed   = flag.Int64("seed", 20160624, "deterministic seed")
-		roots  = flag.Int("roots", 0, "BFS roots per data point (0 = per-experiment default)")
-		format = flag.String("format", "text", "output format: text | csv | json")
+		quick    = flag.Bool("quick", false, "small sweeps (seconds)")
+		full     = flag.Bool("full", false, "large sweeps (minutes; up to 256 functional nodes)")
+		seed     = flag.Int64("seed", 20160624, "deterministic seed")
+		roots    = flag.Int("roots", 0, "BFS roots per data point (0 = per-experiment default)")
+		format   = flag.String("format", "text", "output format: text | csv | json")
+		metrics  = flag.Bool("metrics", false, "print the unified metrics registry after the sweep (see docs/OBSERVABILITY.md)")
+		traceOut = flag.String("trace-out", "", "write the structured per-level BFS traces of all functional runs as JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 	}
 	cmd := flag.Arg(0)
+
+	var observer *obs.Observer
+	if *metrics || *traceOut != "" {
+		observer = obs.New()
+		experiments.SetObserver(observer)
+	}
 
 	fig11opts := experiments.Fig11Options{Seed: *seed, Roots: *roots}
 	fig12opts := experiments.Fig12Options{Seed: *seed, Roots: *roots}
@@ -145,9 +154,29 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-		return
+	} else {
+		run(cmd)
 	}
-	run(cmd)
+
+	if observer != nil {
+		if *metrics {
+			fmt.Println()
+			observer.Metrics.WriteTable(os.Stdout)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("writing trace: %v", err)
+			}
+			if err := observer.Trace.WriteJSON(f); err != nil {
+				f.Close()
+				fatalf("writing trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("writing trace: %v", err)
+			}
+		}
+	}
 }
 
 func usage() {

@@ -172,6 +172,11 @@ func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCt
 	info.NetworkBytes = net.Counters.NetworkBytes()
 	info.NetworkMessages = net.Counters.NetworkMessages()
 	info.MaxConnections = net.MaxConnectionCount()
+	if m := cfg.Obs.MetricsOf(); m != nil {
+		m.Counter("algos.runs").Inc()
+		m.Counter("algos.rounds").Add(int64(info.Rounds))
+		net.MetricsInto(m)
+	}
 	return info, nil
 }
 

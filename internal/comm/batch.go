@@ -59,6 +59,7 @@ const (
 	// KindRelayEnd tells a relay that a source column peer has finished a
 	// channel.
 	KindRelayEnd
+	numKinds
 )
 
 func (k Kind) String() string {

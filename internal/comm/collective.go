@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"swbfs/internal/fabric"
 )
 
 // collectiveGroup implements the blocking collectives of the simulated
@@ -16,10 +18,23 @@ import (
 // communication" optimization — gathering a one-byte empty flag instead of
 // a hub bitmap when a node's hub frontier is empty — enters through the
 // per-node payload size.
+//
+// Every modelled hop is attributed to the fat-tree link class it crosses
+// (tree links parent(i) = (i-1)/2 for the allreduce, ring links
+// i -> (i+1) mod P for the allgather), so per-class collective totals
+// reconcile with the wire totals: a single-node "collective" is loopback,
+// not network traffic.
 type collectiveGroup struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	net  *Network
+
+	// treeBytes is the fixed per-class byte split of one 8-byte allreduce
+	// (16 bytes up+down per node, the root's share staying on-node);
+	// ringClass caches the link class of each ring hop i -> (i+1) mod P
+	// (nil for a single node, where the allgather moves no bytes).
+	treeBytes [fabric.NumLinkClasses]int64
+	ringClass []fabric.LinkClass
 
 	gen   int64
 	count int
@@ -56,7 +71,52 @@ func (g *collectiveGroup) isAborted() bool {
 func newCollectiveGroup(net *Network) *collectiveGroup {
 	g := &collectiveGroup{net: net}
 	g.cond = sync.NewCond(&g.mu)
+	p := net.Nodes()
+	g.treeBytes[fabric.Loopback] = 16 // the root's reduce+broadcast share
+	for i := 1; i < p; i++ {
+		g.treeBytes[net.Topo.Classify(i, (i-1)/2)] += 16
+	}
+	if p > 1 {
+		g.ringClass = make([]fabric.LinkClass, p)
+		for i := 0; i < p; i++ {
+			g.ringClass[i] = net.Topo.Classify(i, (i+1)%p)
+		}
+	}
 	return g
+}
+
+// recordTree charges one completed allreduce: 16 bytes per node, split by
+// the link class of each tree hop (total 16 * P, matching the previous
+// aggregate accounting).
+func (g *collectiveGroup) recordTree() {
+	for class, b := range g.treeBytes {
+		if b > 0 {
+			g.net.Counters.RecordCollective(fabric.LinkClass(class), b)
+		}
+	}
+	g.net.Counters.RecordCollectiveOp()
+}
+
+// recordRing charges one completed allgather of `payload` total
+// contribution bytes: each contribution crosses P-1 of the P ring links,
+// so payload * (P-1) bytes total, spread evenly over the ring hops (the
+// integer remainder lands on the first hops).
+func (g *collectiveGroup) recordRing(payload int64) {
+	p := int64(len(g.ringClass))
+	if p > 0 {
+		total := payload * (p - 1)
+		per, rem := total/p, total%p
+		for i, class := range g.ringClass {
+			b := per
+			if int64(i) < rem {
+				b++
+			}
+			if b > 0 {
+				g.net.Counters.RecordCollective(class, b)
+			}
+		}
+	}
+	g.net.Counters.RecordCollectiveOp()
 }
 
 // AllreduceSum returns the sum of every node's contribution. Blocks until
@@ -77,7 +137,7 @@ func (n *Network) AllreduceSum(value int64) int64 {
 		g.count = 0
 		g.gen++
 		// Tree reduce + broadcast: 8 bytes up and down per node.
-		n.Counters.RecordCollective(int64(16 * n.Nodes()))
+		g.recordTree()
 		g.cond.Broadcast()
 		return g.lastSum
 	}
@@ -110,7 +170,7 @@ func (n *Network) AllreduceMax(value int64) int64 {
 		g.max = 0
 		g.count = 0
 		g.gen++
-		n.Counters.RecordCollective(int64(16 * n.Nodes()))
+		g.recordTree()
 		g.cond.Broadcast()
 		return g.lastMax
 	}
@@ -167,7 +227,7 @@ func (n *Network) AllgatherOr(words []uint64, emptyOptimized bool) ([]uint64, er
 		g.count = 0
 		g.gen++
 		// Ring allgather: each contribution crosses P-1 links.
-		n.Counters.RecordCollective(g.payloadBytes * int64(n.Nodes()-1))
+		g.recordRing(g.payloadBytes)
 		g.payloadBytes = 0
 		g.cond.Broadcast()
 		return g.lastOr, nil

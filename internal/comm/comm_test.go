@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"swbfs/internal/fabric"
 	"swbfs/internal/graph"
 )
 
@@ -489,4 +490,70 @@ type roundError struct {
 
 func (e *roundError) Error() string {
 	return "allreduce mismatch"
+}
+
+// TestCollectiveTopologyAttribution verifies collectives are recorded
+// against the fat-tree topology: a single-node allreduce is pure loopback
+// (zero network bytes), and on a multi-super-node topology the per-class
+// split preserves the modelled aggregate (16 bytes per node for a tree
+// reduce+broadcast) while only wire classes count toward NetworkBytes.
+func TestCollectiveTopologyAttribution(t *testing.T) {
+	// Single node: the "collective" never leaves the node.
+	solo := mustNetwork(t, Config{Nodes: 1})
+	solo.AllreduceSum(7)
+	if got := solo.Counters.NetworkBytes(); got != 0 {
+		t.Fatalf("single-node allreduce recorded %d network bytes", got)
+	}
+	if solo.Counters.CollectiveBytes() != 16 || solo.Counters.CollectiveOps() != 1 {
+		t.Fatalf("single-node collective totals: %d B / %d ops",
+			solo.Counters.CollectiveBytes(), solo.Counters.CollectiveOps())
+	}
+
+	// Four nodes in two super nodes {0,1} and {2,3}: tree links 1->0
+	// (intra), 2->0 (inter) and 3->1 (inter).
+	net := mustNetwork(t, Config{Nodes: 4, SuperNodeSize: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); net.AllreduceSum(1) }()
+	}
+	wg.Wait()
+	c := net.Counters
+	if c.CollectiveBytes() != 16*4 {
+		t.Fatalf("aggregate collective bytes = %d, want %d", c.CollectiveBytes(), 16*4)
+	}
+	if c.CollectiveBytesOn(fabric.Loopback) != 16 {
+		t.Fatalf("root loopback share = %d, want 16", c.CollectiveBytesOn(fabric.Loopback))
+	}
+	if c.CollectiveBytesOn(fabric.IntraSuper) != 16 || c.CollectiveBytesOn(fabric.InterSuper) != 32 {
+		t.Fatalf("tree split intra=%d inter=%d, want 16/32",
+			c.CollectiveBytesOn(fabric.IntraSuper), c.CollectiveBytesOn(fabric.InterSuper))
+	}
+	if c.NetworkBytes() != 48 {
+		t.Fatalf("NetworkBytes = %d, want 48 (excludes loopback share)", c.NetworkBytes())
+	}
+
+	// Allgather: ring distribution preserves payload * (P-1) exactly.
+	before := c.Snapshot()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := net.AllgatherOr([]uint64{1}, false); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	delta := c.Snapshot().Sub(before)
+	if delta.CollectiveBytes != 4*8*3 {
+		t.Fatalf("allgather bytes = %d, want %d", delta.CollectiveBytes, 4*8*3)
+	}
+	var classSum int64
+	for _, b := range delta.Collective {
+		classSum += b
+	}
+	if classSum != delta.CollectiveBytes {
+		t.Fatalf("allgather class split %d != total %d", classSum, delta.CollectiveBytes)
+	}
 }

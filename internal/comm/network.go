@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"swbfs/internal/fabric"
+	"swbfs/internal/obs"
 )
 
 // atomicInt64 aliases the stdlib atomic counter (named for struct-field
@@ -80,6 +81,11 @@ type Network struct {
 	nodeMsgs  []atomicInt64
 	nodeBytes []atomicInt64
 
+	// kindMsgs counts delivered batches per wire kind (data, end markers,
+	// relay envelopes) — the batching-ratio statistics the observability
+	// layer reports.
+	kindMsgs [numKinds]atomicInt64
+
 	coll *collectiveGroup
 }
 
@@ -131,6 +137,7 @@ func (n *Network) deliver(b Batch) error {
 	}
 	class := n.Topo.Classify(b.Src, b.Dst)
 	wire := n.wireSize(&b)
+	n.kindMsgs[b.Kind].Add(1)
 	if class != fabric.Loopback {
 		if err := n.connect(b.Src, b.Dst); err != nil {
 			return err
@@ -189,6 +196,26 @@ func (n *Network) MaxConnectionCount() int {
 // worst-loaded node.
 func (n *Network) ConnectionMemoryBytes() int64 {
 	return int64(n.MaxConnectionCount()) * MPIConnectionBytes
+}
+
+// KindMessages returns how many batches of the given kind were delivered.
+func (n *Network) KindMessages(k Kind) int64 { return n.kindMsgs[k].Load() }
+
+// MetricsInto folds the network's traffic counters into an obs metrics
+// registry: per-link-class bytes and messages (point-to-point and
+// collective) under "comm.*", batch counts per wire kind, and the
+// connection high-water mark. A run's Network is ephemeral, so callers
+// fold once at the end of each run; the registry accumulates across runs.
+func (n *Network) MetricsInto(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	n.Counters.Snapshot().AddTo(r, "comm")
+	for k := Kind(0); k < numKinds; k++ {
+		r.Counter("comm.batches." + k.String()).Add(n.kindMsgs[k].Load())
+	}
+	r.Gauge("comm.connections.max").SetMax(int64(n.MaxConnectionCount()))
+	r.Gauge("comm.connections.memory_bytes").SetMax(n.ConnectionMemoryBytes())
 }
 
 // Close shuts every inbox (used on teardown and error paths).

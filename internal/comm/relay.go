@@ -91,12 +91,18 @@ type RelayEndpoint struct {
 	// relayedBytes counts pair bytes this node shuffled as a relay during
 	// the current level — the input volume of its Forward/Backward Relay
 	// modules (read by the same goroutine that runs Recv).
-	relayedBytes int64
+	// totalRelayedBytes accumulates across levels for whole-run metrics.
+	relayedBytes      int64
+	totalRelayedBytes int64
 }
 
 // RelayedBytes reports the pair bytes relayed during the current level.
 // Call it from the handler goroutine after the level completes.
 func (e *RelayEndpoint) RelayedBytes() int64 { return e.relayedBytes }
+
+// TotalRelayedBytes reports the pair bytes relayed across all levels of
+// the run so far. Call it after the run's module goroutines have joined.
+func (e *RelayEndpoint) TotalRelayedBytes() int64 { return e.totalRelayedBytes }
 
 // NewRelayEndpoint creates the rank for `node` under the given shape.
 func NewRelayEndpoint(net *Network, node int, shape GroupShape) (*RelayEndpoint, error) {
@@ -240,6 +246,7 @@ func (e *RelayEndpoint) Recv() Event {
 				e.relayBuf[ch][in.Dst] = append(e.relayBuf[ch][in.Dst], in.Pairs...)
 				e.relayBytes[ch][in.Dst] += int64(len(in.Pairs)) * PairBytes
 				e.relayedBytes += int64(len(in.Pairs)) * PairBytes
+				e.totalRelayedBytes += int64(len(in.Pairs)) * PairBytes
 				if e.relayBytes[ch][in.Dst] >= e.net.BatchBytes() {
 					if err := e.relayFlush(ch, in.Dst); err != nil {
 						return Event{Type: EvError, Err: err}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"swbfs/internal/comm"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
 	"swbfs/internal/shuffle"
 	"swbfs/internal/sw"
@@ -113,6 +114,17 @@ type Config struct {
 	// graph partitioning; the default round-robin is the Graph500
 	// reference layout).
 	Partition PartitionStrategy
+
+	// Obs, when non-nil, receives the unified observability output of
+	// every Run: accumulated metrics in Obs.Metrics and one per-level
+	// RunTrace per root in Obs.Trace. Nil disables at zero cost.
+	Obs *obs.Observer
+
+	// Profile is the opt-in host-side pprof / runtime-trace hook: it
+	// profiles the simulator process, not the modelled machine. The
+	// Graph500 harness (and the CLIs' -cpuprofile / -exec-trace flags)
+	// start it around the kernel runs.
+	Profile obs.ProfileConfig
 }
 
 // PartitionStrategy selects the 1-D vertex-to-node layout.

@@ -54,6 +54,27 @@ type nodeState struct {
 	relayBytes     int64 // Forward/Backward Relay module input (relay transport)
 	hInvocations   int64 // handler CPE-cluster dispatches (batches >= 1 KB)
 	smallBatches   int64 // sub-1 KB batches fast-pathed on the MPE
+
+	// Whole-run accumulations of the per-level counters above, folded
+	// into the observability registry after the run (each node writes
+	// only its own fields; the runner sums after the goroutines join).
+	runGenBytes     int64
+	runFwdBytes     int64
+	runBwdBytes     int64
+	runRelayBytes   int64
+	runInvocations  int64
+	runSmallBatches int64
+}
+
+// accumulateRun folds the level's counters into the whole-run totals;
+// called once per level after the module goroutines have joined.
+func (ns *nodeState) accumulateRun() {
+	ns.runGenBytes += ns.genBytes
+	ns.runFwdBytes += ns.hFwdBytes
+	ns.runBwdBytes += ns.hBwdBytes
+	ns.runRelayBytes += ns.relayBytes
+	ns.runInvocations += ns.invocations()
+	ns.runSmallBatches += ns.smallBatches
 }
 
 // invocations sums the module dispatches of the level; call only after the

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"swbfs/internal/comm"
+	"swbfs/internal/fabric"
+	"swbfs/internal/obs"
+)
+
+// observe folds one completed run into the configured Observer: a
+// RunTrace whose spans reconcile exactly with the run's reported totals,
+// and the accumulated metrics of every subsystem. Called from assemble,
+// while the run's network is still alive and after every module goroutine
+// has joined.
+func (r *Runner) observe(res *Result) {
+	o := r.cfg.Obs
+	if o == nil {
+		return
+	}
+
+	final := r.net.Counters.Snapshot()
+	term := final.Sub(r.lastSnap)
+
+	if t := o.TraceOf(); t != nil {
+		t.Record(r.buildTrace(res, final, term))
+	}
+	if m := o.MetricsOf(); m != nil {
+		r.foldMetrics(m, res)
+	}
+}
+
+// buildTrace converts the run's per-level statistics into a RunTrace.
+func (r *Runner) buildTrace(res *Result, final, term fabric.Snapshot) obs.RunTrace {
+	rt := obs.RunTrace{
+		Root:           int64(res.Root),
+		Visited:        res.Visited,
+		TraversedEdges: res.TraversedEdges,
+		BottomUpLevels: res.BottomUpLevels,
+		TotalSeconds:   res.Time,
+		GTEPS:          res.GTEPS,
+
+		TerminationCollectiveBytes: term.CollectiveBytes,
+		TerminationWireBytes:       term.NetworkBytes(),
+		TotalNetworkBytes:          final.NetworkBytes(),
+	}
+	rt.Levels = make([]obs.LevelSpan, 0, len(res.Levels))
+	for _, s := range res.Levels {
+		rt.Levels = append(rt.Levels, obs.LevelSpan{
+			Level:            s.Level,
+			Direction:        s.Direction,
+			FrontierVertices: s.FrontierVertices,
+			EdgesRelaxed:     s.FrontierEdges,
+			WallSeconds:      r.model.LevelTime(s),
+			Rounds:           s.Rounds,
+
+			LoopbackBytes:   s.Net.Bytes[fabric.Loopback],
+			IntraSuperBytes: s.Net.Bytes[fabric.IntraSuper],
+			InterSuperBytes: s.Net.Bytes[fabric.InterSuper],
+
+			CollectiveBytes:     s.Net.CollectiveBytes,
+			CollectiveWireBytes: s.Net.CollectiveWireBytes(),
+			CollectiveOps:       s.Net.CollectiveOps,
+
+			NetworkBytes:    s.Net.NetworkBytes(),
+			NetworkMessages: s.Net.Messages[fabric.IntraSuper] + s.Net.Messages[fabric.InterSuper],
+
+			MaxNodeProcessedBytes: s.MaxNodeProcessedBytes,
+			MaxNodeSentBytes:      s.MaxNodeSentBytes,
+		})
+	}
+	return rt
+}
+
+// foldMetrics adds the run's totals to the metrics registry. The registry
+// accumulates across runs (the Graph500 harness folds 64 of these).
+func (r *Runner) foldMetrics(m *obs.Registry, res *Result) {
+	m.Counter("bfs.runs").Inc()
+	m.Counter("bfs.levels").Add(int64(len(res.Levels)))
+	m.Counter("bfs.levels.bottomup").Add(int64(res.BottomUpLevels))
+	m.Counter("bfs.levels.topdown").Add(int64(len(res.Levels) - res.BottomUpLevels))
+	m.Counter("bfs.visited_vertices").Add(res.Visited)
+	m.Counter("bfs.traversed_edges").Add(res.TraversedEdges)
+
+	frontier := m.Histogram("bfs.level.frontier_vertices")
+	relaxed := m.Histogram("bfs.level.edges_relaxed")
+	wall := m.Histogram("bfs.level.wall_us")
+	netBytes := m.Histogram("bfs.level.network_bytes")
+	var switches int64
+	for i, s := range res.Levels {
+		frontier.Observe(s.FrontierVertices)
+		relaxed.Observe(s.FrontierEdges)
+		wall.Observe(int64(r.model.LevelTime(s) * 1e6))
+		netBytes.Observe(s.Net.NetworkBytes())
+		if i > 0 && s.Direction != res.Levels[i-1].Direction {
+			switches++
+		}
+	}
+	m.Counter("bfs.direction_switches").Add(switches)
+
+	// Module work, summed over all nodes and levels of the run.
+	var gen, fwd, bwd, relay, invocations, smallBatches, relayed int64
+	for _, ns := range r.nodes {
+		gen += ns.runGenBytes
+		fwd += ns.runFwdBytes
+		bwd += ns.runBwdBytes
+		relay += ns.runRelayBytes
+		invocations += ns.runInvocations
+		smallBatches += ns.runSmallBatches
+		if rep, ok := ns.ep.(*comm.RelayEndpoint); ok {
+			relayed += rep.TotalRelayedBytes()
+		}
+	}
+	m.Counter("core.module.generator.bytes").Add(gen)
+	m.Counter("core.module.handler.forward.bytes").Add(fwd)
+	m.Counter("core.module.handler.backward.bytes").Add(bwd)
+	m.Counter("core.module.relay.bytes").Add(relay)
+	m.Counter("core.module.invocations").Add(invocations)
+	m.Counter("core.module.small_batches_mpe").Add(smallBatches)
+	m.Counter("comm.relay.pair_bytes").Add(relayed)
+
+	// Network traffic and connection accounting (comm.* taxonomy).
+	r.net.MetricsInto(m)
+}

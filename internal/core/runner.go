@@ -68,6 +68,11 @@ type Runner struct {
 
 	mu     sync.Mutex
 	levels []perf.LevelStats
+	// lastSnap is node 0's counter snapshot after the final recorded
+	// level; the delta to the end-of-run totals is the termination
+	// traffic (the frontier-emptiness collectives) the trace reports
+	// separately so its books balance.
+	lastSnap fabric.Snapshot
 }
 
 // NewRunner partitions g over the configured machine and validates the
@@ -173,6 +178,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	r.model = perf.NewModel(net.Topo, r.cfg.Engine)
 	r.policy = NewPolicy(r.cfg.Alpha, r.cfg.Beta, r.cfg.DirectionOptimized)
 	r.levels = nil
+	r.lastSnap = fabric.Snapshot{}
 
 	if r.hubs != nil {
 		r.hubInCurr = graph.NewBitmap(int64(r.hubsBottomUp))
@@ -246,6 +252,16 @@ func (ns *nodeState) runBFS() error {
 	r := ns.r
 	level := 0
 	for {
+		// Node 0 opens the level's accounting window before the frontier
+		// collectives, so every byte of the level — statistics
+		// allreduces, hub allgather, barrier and data — lands in exactly
+		// one level's delta. (The window is safe: no peer traffic can be
+		// recorded before node 0 joins the first allreduce below.)
+		var before fabric.Snapshot
+		if ns.id == 0 {
+			before = r.net.Counters.Snapshot()
+		}
+
 		// Global frontier statistics (three allreduces: the runtime
 		// statistics TRAVERSAL_POLICY consumes).
 		var nfLocal, mfLocal int64
@@ -276,10 +292,6 @@ func (ns *nodeState) runBFS() error {
 			}
 		}
 
-		var before fabric.Snapshot
-		if ns.id == 0 {
-			before = r.net.Counters.Snapshot()
-		}
 		sentMsgs0, sentBytes0 := r.net.NodeSent(ns.id)
 
 		if err := ns.runLevel(level, dir); err != nil {
@@ -301,6 +313,8 @@ func (ns *nodeState) runBFS() error {
 			return errAborted
 		}
 
+		ns.accumulateRun()
+
 		if ns.id == 0 {
 			after := r.net.Counters.Snapshot()
 			rounds := 1
@@ -314,6 +328,8 @@ func (ns *nodeState) runBFS() error {
 			r.levels = append(r.levels, perf.LevelStats{
 				Level:                 level,
 				Direction:             dir.String(),
+				FrontierVertices:      nf,
+				FrontierEdges:         mf,
 				MaxNodeProcessedBytes: maxProcessed,
 				ModuleBytes:           maxModules[:],
 				MaxNodeSentBytes:      maxSent,
@@ -322,6 +338,7 @@ func (ns *nodeState) runBFS() error {
 				Net:                   after.Sub(before),
 				Rounds:                rounds,
 			})
+			r.lastSnap = after
 			r.mu.Unlock()
 		}
 
@@ -404,5 +421,6 @@ func (r *Runner) assemble(root graph.Vertex) *Result {
 		}
 	}
 	res.MaxConnections = r.net.MaxConnectionCount()
+	r.observe(res)
 	return res
 }

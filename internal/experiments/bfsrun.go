@@ -7,8 +7,18 @@ import (
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
 )
+
+// sharedObserver, when set, is attached to every functional measurement
+// so sweep drivers (cmd/swbfs-bench) can expose -metrics / -trace-out.
+var sharedObserver *obs.Observer
+
+// SetObserver attaches an observability sink to all subsequent
+// measurements. Pass nil to detach. Not safe to call concurrently with
+// running measurements.
+func SetObserver(o *obs.Observer) { sharedObserver = o }
 
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
@@ -61,6 +71,7 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		DirectionOptimized: true,
 		HubPrefetch:        true,
 		SmallMessageMPE:    true,
+		Obs:                sharedObserver,
 	}
 
 	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: scale, Seed: seed})

@@ -131,6 +131,9 @@ func ProjectWork(m *Measurement, targetNodes int, workRatio float64) *Projection
 		// node under direct messaging; the relay keeps stage two local.
 		// The measured split already encodes that; only rescale.
 		t.Net.CollectiveBytes = int64(float64(s.Net.CollectiveBytes) * ratio)
+		for c := range t.Net.Collective {
+			t.Net.Collective[c] = int64(float64(s.Net.Collective[c]) * ratio)
+		}
 		t.Net.CollectiveOps = s.Net.CollectiveOps
 		scaled[i] = t
 	}

@@ -4,16 +4,24 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"swbfs/internal/obs"
 )
 
 // Counters accumulates traffic per link class. All methods are safe for
 // concurrent use — every simulated node records its sends here.
+//
+// Point-to-point and collective traffic are tracked separately (the
+// collectives are the "global communication" the paper works to reduce),
+// but both are attributed to the link class they cross, so per-class sums
+// reconcile with the wire totals: collective traffic on a single-node
+// topology is loopback, not network bytes.
 type Counters struct {
 	bytes    [numLinkClasses]atomic.Int64
 	messages [numLinkClasses]atomic.Int64
-	// collective traffic (allreduce/allgather) accounted separately: it is
-	// the "global communication" the paper works to reduce.
-	collectiveBytes atomic.Int64
+	// collectiveBytes splits collective traffic (allreduce/allgather) by
+	// the link class each hop of the modelled tree/ring crosses.
+	collectiveBytes [numLinkClasses]atomic.Int64
 	collectiveOps   atomic.Int64
 }
 
@@ -23,23 +31,42 @@ func (c *Counters) Record(class LinkClass, bytes int64) {
 	c.messages[class].Add(1)
 }
 
-// RecordCollective adds the traffic of one collective operation.
-func (c *Counters) RecordCollective(bytes int64) {
-	c.collectiveBytes.Add(bytes)
-	c.collectiveOps.Add(1)
+// RecordCollective adds collective-operation traffic on the given link
+// class. One collective usually records on several classes; callers bump
+// the operation count once via RecordCollectiveOp.
+func (c *Counters) RecordCollective(class LinkClass, bytes int64) {
+	c.collectiveBytes[class].Add(bytes)
 }
 
-// Bytes and Messages report per-class totals.
+// RecordCollectiveOp counts one completed collective operation.
+func (c *Counters) RecordCollectiveOp() { c.collectiveOps.Add(1) }
+
+// Bytes and Messages report per-class point-to-point totals.
 func (c *Counters) Bytes(class LinkClass) int64    { return c.bytes[class].Load() }
 func (c *Counters) Messages(class LinkClass) int64 { return c.messages[class].Load() }
 
-// CollectiveBytes and CollectiveOps report collective totals.
-func (c *Counters) CollectiveBytes() int64 { return c.collectiveBytes.Load() }
-func (c *Counters) CollectiveOps() int64   { return c.collectiveOps.Load() }
+// CollectiveBytesOn reports the collective traffic attributed to a class.
+func (c *Counters) CollectiveBytesOn(class LinkClass) int64 {
+	return c.collectiveBytes[class].Load()
+}
 
-// NetworkBytes returns all bytes that crossed a wire (excludes loopback).
+// CollectiveBytes reports total collective traffic across all classes.
+func (c *Counters) CollectiveBytes() int64 {
+	var total int64
+	for i := LinkClass(0); i < numLinkClasses; i++ {
+		total += c.collectiveBytes[i].Load()
+	}
+	return total
+}
+
+// CollectiveOps reports the number of completed collective operations.
+func (c *Counters) CollectiveOps() int64 { return c.collectiveOps.Load() }
+
+// NetworkBytes returns all bytes that crossed a wire. Loopback traffic —
+// point-to-point and the loopback share of collectives — is excluded.
 func (c *Counters) NetworkBytes() int64 {
-	return c.Bytes(IntraSuper) + c.Bytes(InterSuper) + c.CollectiveBytes()
+	return c.Bytes(IntraSuper) + c.Bytes(InterSuper) +
+		c.CollectiveBytesOn(IntraSuper) + c.CollectiveBytesOn(InterSuper)
 }
 
 // NetworkMessages returns all messages that crossed a wire.
@@ -49,8 +76,11 @@ func (c *Counters) NetworkMessages() int64 {
 
 // Snapshot captures the current totals.
 type Snapshot struct {
-	Bytes           [numLinkClasses]int64
-	Messages        [numLinkClasses]int64
+	Bytes    [numLinkClasses]int64
+	Messages [numLinkClasses]int64
+	// Collective is the per-class collective traffic; CollectiveBytes is
+	// its sum (kept explicit because the timing model consumes the total).
+	Collective      [numLinkClasses]int64
 	CollectiveBytes int64
 	CollectiveOps   int64
 }
@@ -62,10 +92,22 @@ func (c *Counters) Snapshot() Snapshot {
 	for i := LinkClass(0); i < numLinkClasses; i++ {
 		s.Bytes[i] = c.Bytes(i)
 		s.Messages[i] = c.Messages(i)
+		s.Collective[i] = c.CollectiveBytesOn(i)
+		s.CollectiveBytes += s.Collective[i]
 	}
-	s.CollectiveBytes = c.CollectiveBytes()
 	s.CollectiveOps = c.CollectiveOps()
 	return s
+}
+
+// CollectiveWireBytes is the snapshot's collective traffic that crossed a
+// wire (excludes the loopback share).
+func (s Snapshot) CollectiveWireBytes() int64 {
+	return s.Collective[IntraSuper] + s.Collective[InterSuper]
+}
+
+// NetworkBytes is the snapshot's total wire traffic.
+func (s Snapshot) NetworkBytes() int64 {
+	return s.Bytes[IntraSuper] + s.Bytes[InterSuper] + s.CollectiveWireBytes()
 }
 
 // Sub returns the delta s - prev, for per-level accounting.
@@ -74,10 +116,28 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	for i := range s.Bytes {
 		d.Bytes[i] = s.Bytes[i] - prev.Bytes[i]
 		d.Messages[i] = s.Messages[i] - prev.Messages[i]
+		d.Collective[i] = s.Collective[i] - prev.Collective[i]
 	}
 	d.CollectiveBytes = s.CollectiveBytes - prev.CollectiveBytes
 	d.CollectiveOps = s.CollectiveOps - prev.CollectiveOps
 	return d
+}
+
+// AddTo folds the snapshot into an obs metrics registry under the given
+// prefix (e.g. "comm" -> "comm.bytes.intra-super"). This is how the
+// fabric counters surface in the unified observability layer.
+func (s Snapshot) AddTo(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	for i := LinkClass(0); i < numLinkClasses; i++ {
+		name := i.String()
+		r.Counter(prefix + ".bytes." + name).Add(s.Bytes[i])
+		r.Counter(prefix + ".messages." + name).Add(s.Messages[i])
+		r.Counter(prefix + ".collective.bytes." + name).Add(s.Collective[i])
+	}
+	r.Counter(prefix + ".collective.ops").Add(s.CollectiveOps)
+	r.Counter(prefix + ".network.bytes").Add(s.NetworkBytes())
 }
 
 // String renders the snapshot for logs and reports.

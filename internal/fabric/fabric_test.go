@@ -108,7 +108,8 @@ func TestCountersConcurrent(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				c.Record(IntraSuper, 10)
 				c.Record(InterSuper, 20)
-				c.RecordCollective(5)
+				c.RecordCollective(IntraSuper, 5)
+				c.RecordCollectiveOp()
 			}
 		}()
 	}
@@ -130,13 +131,52 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 }
 
+// TestCollectiveLinkClassAttribution is the regression test for the
+// reconciliation bug: collective traffic used to be recorded class-less,
+// so NetworkBytes counted a single-node "collective" (pure loopback) as
+// wire traffic and per-class sums never matched the totals.
+func TestCollectiveLinkClassAttribution(t *testing.T) {
+	var c Counters
+	c.RecordCollective(Loopback, 16)
+	c.RecordCollectiveOp()
+	if c.NetworkBytes() != 0 {
+		t.Fatalf("loopback collective counted as network bytes: %d", c.NetworkBytes())
+	}
+	if c.CollectiveBytes() != 16 || c.CollectiveOps() != 1 {
+		t.Fatalf("collective totals: %d B / %d ops", c.CollectiveBytes(), c.CollectiveOps())
+	}
+
+	c.RecordCollective(IntraSuper, 100)
+	c.RecordCollective(InterSuper, 30)
+	c.RecordCollectiveOp()
+	// Per-class collective bytes must sum to the aggregate...
+	sum := c.CollectiveBytesOn(Loopback) + c.CollectiveBytesOn(IntraSuper) + c.CollectiveBytesOn(InterSuper)
+	if sum != c.CollectiveBytes() {
+		t.Fatalf("per-class collective sum %d != aggregate %d", sum, c.CollectiveBytes())
+	}
+	// ...and only the wire share reconciles into NetworkBytes.
+	if got := c.NetworkBytes(); got != 130 {
+		t.Fatalf("NetworkBytes = %d, want 130 (wire collective share only)", got)
+	}
+
+	s := c.Snapshot()
+	if s.CollectiveWireBytes() != 130 || s.NetworkBytes() != 130 {
+		t.Fatalf("snapshot wire share %d / network %d, want 130 / 130",
+			s.CollectiveWireBytes(), s.NetworkBytes())
+	}
+	if s.Collective[Loopback] != 16 {
+		t.Fatalf("snapshot loopback collective = %d, want 16", s.Collective[Loopback])
+	}
+}
+
 func TestSnapshotSub(t *testing.T) {
 	var c Counters
 	c.Record(IntraSuper, 100)
 	before := c.Snapshot()
 	c.Record(IntraSuper, 50)
 	c.Record(Loopback, 7)
-	c.RecordCollective(3)
+	c.RecordCollective(InterSuper, 3)
+	c.RecordCollectiveOp()
 	delta := c.Snapshot().Sub(before)
 	if delta.Bytes[IntraSuper] != 50 || delta.Messages[IntraSuper] != 1 {
 		t.Fatalf("delta intra = %d B / %d msgs", delta.Bytes[IntraSuper], delta.Messages[IntraSuper])

@@ -5,6 +5,12 @@
 // (Section 3.3). The package classifies traffic by the link level it
 // crosses and accumulates byte/message counters that the timing model folds
 // into per-level BFS times.
+//
+// All traffic — point-to-point and collective alike — is attributed to a
+// link class, so per-class byte counts always reconcile with the
+// NetworkBytes total. Snapshot.AddTo registers a snapshot's counters into
+// an obs.Registry under the comm.* metric names (see
+// docs/OBSERVABILITY.md).
 package fabric
 
 import "fmt"
@@ -48,6 +54,10 @@ const (
 	InterSuper
 	numLinkClasses
 )
+
+// NumLinkClasses is the number of distinct LinkClass values, for callers
+// that keep per-class tables.
+const NumLinkClasses = int(numLinkClasses)
 
 func (c LinkClass) String() string {
 	switch c {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
 )
 
@@ -114,8 +116,27 @@ func Run(cfg BenchConfig) (*Report, error) {
 		NumEdges:            g.NumEdges() / 2,
 		ConstructionSeconds: construction,
 	}
+
+	// Opt-in host-side profiling, covering exactly the kernel runs (and
+	// their validation) — the region worth inspecting with pprof or
+	// `go tool trace`.
+	if cfg.Machine.Profile.Enabled() {
+		stop, err := obs.StartProfile(cfg.Machine.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("graph500: %w", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "graph500: stopping profile: %v\n", err)
+			}
+		}()
+	}
+	metrics := cfg.Machine.Obs.MetricsOf()
+
 	var teps, times []float64
 	for _, root := range roots {
+		// The runner attaches one per-level RunTrace per root to the
+		// observer; the harness adds the benchmark-level accounting.
 		res, err := runner.Run(root)
 		if err != nil {
 			return nil, fmt.Errorf("graph500: BFS from root %d: %w", root, err)
@@ -134,10 +155,15 @@ func Run(cfg BenchConfig) (*Report, error) {
 		}
 		if !cfg.SkipValidation {
 			// The parallel validator (Section 5's scaled verification).
+			vstart := time.Now()
 			if _, err := ValidateParallel(g, root, res.Parent, 0); err != nil {
 				return nil, fmt.Errorf("graph500: validation failed for root %d: %w", root, err)
 			}
 			rr.Validated = true
+			if metrics != nil {
+				metrics.Counter("graph500.validations").Inc()
+				metrics.Histogram("graph500.validation_us").Observe(time.Since(vstart).Microseconds())
+			}
 		}
 		report.Runs = append(report.Runs, rr)
 		teps = append(teps, rr.TEPS)
@@ -145,6 +171,11 @@ func Run(cfg BenchConfig) (*Report, error) {
 	}
 	report.TEPS = Summarize(teps, true)
 	report.KernelTime = Summarize(times, false)
+	if metrics != nil {
+		metrics.Gauge("graph500.num_vertices").Set(report.NumVertices)
+		metrics.Gauge("graph500.num_undirected_edges").Set(report.NumEdges)
+		metrics.Gauge("graph500.harmonic_mean_mteps").Set(int64(report.TEPS.Mean / 1e6))
+	}
 	return report, nil
 }
 

@@ -1,0 +1,38 @@
+package obs_test
+
+import (
+	"os"
+
+	"swbfs/internal/obs"
+)
+
+// Example shows the producer/consumer split: hot paths resolve metrics
+// once and update them with atomics; at the end the snapshot is rendered
+// as a table.
+func Example() {
+	o := obs.New()
+
+	// Producer side (e.g. the BFS runner folding one finished run).
+	m := o.MetricsOf()
+	runs := m.Counter("bfs.runs")
+	levels := m.Histogram("bfs.levels_per_run")
+	for run := 0; run < 3; run++ {
+		runs.Inc()
+		levels.Observe(int64(5 + run))
+	}
+	m.Gauge("comm.connections.max").SetMax(12)
+
+	// Trace side: one RunTrace per rooted BFS.
+	o.TraceOf().Record(obs.RunTrace{Root: 7, Visited: 100, TotalSeconds: 1e-3})
+
+	// Consumer side.
+	o.Metrics.WriteTable(os.Stdout)
+	// Output:
+	// counters:
+	//   bfs.runs                                   3
+	// gauges:
+	//   comm.connections.max                       12
+	// histograms:
+	//   bfs.levels_per_run                         count=3 sum=18 mean=6.0
+	//     [4, 8)  3
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTable renders the registry as a human-readable table, metrics
+// sorted by name within each kind.
+func (r *Registry) WriteTable(w io.Writer) {
+	s := r.Snapshot()
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-42s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-42s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(w, "  %-42s count=%d sum=%d mean=%.1f\n", name, h.Count, h.Sum, h.Mean())
+			for _, b := range h.Buckets {
+				if b.High == 0 {
+					fmt.Fprintf(w, "    %16s  %d\n", "<= 0", b.Count)
+				} else if b.High < 0 {
+					fmt.Fprintf(w, "    [%d, inf)  %d\n", b.Low, b.Count)
+				} else {
+					fmt.Fprintf(w, "    [%d, %d)  %d\n", b.Low, b.High, b.Count)
+				}
+			}
+		}
+	}
+}
+
+// traceFile is the JSON schema of a -trace-out file.
+type traceFile struct {
+	Runs []RunTrace `json:"runs"`
+}
+
+// WriteJSON writes every recorded run as one indented JSON document:
+// {"runs": [...]}.
+func (r *TraceRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceFile{Runs: r.Runs()})
+}
+
+// ReadTraceJSON parses a document written by TraceRecorder.WriteJSON.
+func ReadTraceJSON(rd io.Reader) ([]RunTrace, error) {
+	var f traceFile
+	if err := json.NewDecoder(rd).Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace: %w", err)
+	}
+	return f.Runs, nil
+}
+
+// WriteTable renders every recorded run as a per-level table.
+func (r *TraceRecorder) WriteTable(w io.Writer) {
+	for _, run := range r.Runs() {
+		fmt.Fprintf(w, "root %d: %d visited, %d edges, %d levels (%d bottom-up), %.3f ms, %.3f GTEPS\n",
+			run.Root, run.Visited, run.TraversedEdges, len(run.Levels),
+			run.BottomUpLevels, run.TotalSeconds*1e3, run.GTEPS)
+		fmt.Fprintln(w, "  lvl dir       frontier     edges        wall(us)   net_bytes    coll_bytes   msgs")
+		for _, s := range run.Levels {
+			fmt.Fprintf(w, "  %-3d %-9s %-12d %-12d %-10.1f %-12d %-12d %d\n",
+				s.Level, s.Direction, s.FrontierVertices, s.EdgesRelaxed,
+				s.WallSeconds*1e6, s.NetworkBytes, s.CollectiveBytes, s.NetworkMessages)
+		}
+	}
+}

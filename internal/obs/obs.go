@@ -1,0 +1,58 @@
+// Package obs is the unified observability layer of the simulation: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed
+// log-scale-bucket histograms) plus a structured per-level BFS trace
+// recorder.
+//
+// The paper's evaluation hinges on knowing exactly where time and traffic
+// go — per-level frontier sizes, direction switches, relay batching
+// ratios, and byte counts per fat-tree link class. Before this package the
+// repository had three disconnected counter mechanisms (fabric link-class
+// counters, shuffle pass statistics, comm per-node send counters) and no
+// whole-run timeline. obs gives every subsystem one place to report:
+//
+//   - Registry accumulates named metrics across an arbitrary number of
+//     BFS runs. Hot paths pay one atomic add per update; name resolution
+//     happens once, at registration time.
+//   - TraceRecorder collects one RunTrace per rooted BFS, each a sequence
+//     of LevelSpans (level number, direction chosen, frontier size, edges
+//     relaxed, modelled wall time, bytes moved per link class). Summed
+//     span times and byte counts reconcile exactly with the run's
+//     reported totals (see RunTrace.Reconcile).
+//   - StartProfile is the opt-in host-side pprof / runtime-trace hook,
+//     enabled through core.Config.Profile and the CLI flags.
+//
+// Producers hold an *Observer (core.Config.Obs); a nil Observer — or a
+// nil field inside it — disables that part at zero cost.
+//
+// See docs/OBSERVABILITY.md for the metrics taxonomy and a worked example.
+package obs
+
+// Observer bundles the two observability sinks a BFS run feeds. Either
+// field may be nil to disable that sink.
+type Observer struct {
+	// Metrics accumulates named counters/gauges/histograms across runs.
+	Metrics *Registry
+	// Trace records one RunTrace per rooted BFS.
+	Trace *TraceRecorder
+}
+
+// New returns an Observer with both sinks enabled.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTraceRecorder()}
+}
+
+// MetricsOf returns o.Metrics, tolerating a nil receiver.
+func (o *Observer) MetricsOf() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// TraceOf returns o.Trace, tolerating a nil receiver.
+func (o *Observer) TraceOf() *TraceRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — half
+// registering by name each iteration, half holding resolved pointers — and
+// checks the totals. Run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				// Hot-path style: resolve once, update many times.
+				c := r.Counter("shared")
+				g := r.Gauge("high")
+				h := r.Histogram("obs")
+				for i := 0; i < iters; i++ {
+					c.Inc()
+					g.SetMax(int64(w*iters + i))
+					h.Observe(int64(i))
+				}
+			} else {
+				// Lookup-per-update style: exercises the registration mutex.
+				for i := 0; i < iters; i++ {
+					r.Counter("shared").Inc()
+					r.Gauge("high").SetMax(int64(w*iters + i))
+					r.Histogram("obs").Observe(int64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("high").Value(); got != (workers-1)*iters+iters-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, (workers-1)*iters+iters-1)
+	}
+	h := r.Histogram("obs")
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	wantSum := int64(workers) * int64(iters) * int64(iters-1) / 2
+	if h.Sum() != wantSum {
+		t.Fatalf("histogram sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+func TestRegistryReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name resolved to different counters")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("same name resolved to different gauges")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("same name resolved to different histograms")
+	}
+	// Kinds are separate namespaces; creating all three under one name is
+	// allowed and they stay independent.
+	r.Counter("a").Add(3)
+	r.Gauge("a").Set(7)
+	if r.Counter("a").Value() != 3 || r.Gauge("a").Value() != 7 {
+		t.Fatal("kinds interfere")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("Set did not overwrite: %d", g.Value())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log2 bucket layout: bucket 0
+// holds v <= 0, and bucket i holds [2^(i-1), 2^i).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11}, {1025, 11},
+		{1 << 62, 63},
+		{1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	var h Histogram
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	for _, b := range h.Buckets() {
+		switch {
+		case b.High == 0:
+			// Non-positive bucket: count the cases with v <= 0.
+			if b.Count != 2 {
+				t.Errorf("<=0 bucket count = %d, want 2", b.Count)
+			}
+		case b.High > 0:
+			if b.High != 2*b.Low {
+				t.Errorf("bucket [%d,%d) is not one octave", b.Low, b.High)
+			}
+		default:
+			// Open top bucket starts at 2^63.
+			if b.Low != 1<<62 {
+				t.Errorf("open bucket low = %d, want 2^62", b.Low)
+			}
+		}
+	}
+
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, histogram count %d", total, h.Count())
+	}
+}
+
+func TestHistogramSnapshotMean(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	s := HistogramSnapshot{Count: 4, Sum: 10}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", s.Mean())
+	}
+}
+
+func TestWriteTableRendersAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bfs.runs").Add(64)
+	r.Gauge("comm.connections.max").Set(12)
+	r.Histogram("bfs.level.wall_us").Observe(100)
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"counters:", "gauges:", "histograms:", "bfs.runs", "comm.connections.max", "bfs.level.wall_us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// LevelSpan is one BFS level of a traced run: what the traversal did
+// (direction, frontier, relaxed edges), how long the model says it took,
+// and where its traffic went, split by fat-tree link class.
+type LevelSpan struct {
+	Level     int    `json:"level"`
+	Direction string `json:"direction"`
+
+	// FrontierVertices is the global frontier size entering the level
+	// (nf); EdgesRelaxed is the frontier's degree sum (mf) — the work the
+	// level relaxes.
+	FrontierVertices int64 `json:"frontier_vertices"`
+	EdgesRelaxed     int64 `json:"edges_relaxed"`
+
+	// WallSeconds is the modelled wall-clock time of the level; the spans
+	// of a run sum exactly to the run's reported kernel time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Rounds is the number of sequential message stages (1 direct,
+	// 2 relay, doubled bottom-up).
+	Rounds int `json:"rounds"`
+
+	// Point-to-point bytes per link class.
+	LoopbackBytes   int64 `json:"loopback_bytes"`
+	IntraSuperBytes int64 `json:"intra_super_bytes"`
+	InterSuperBytes int64 `json:"inter_super_bytes"`
+	// Collective traffic (allreduce/allgather), total and the share that
+	// actually crossed a wire (excludes the loopback share on scaled-down
+	// topologies and single-node runs).
+	CollectiveBytes     int64 `json:"collective_bytes"`
+	CollectiveWireBytes int64 `json:"collective_wire_bytes"`
+	CollectiveOps       int64 `json:"collective_ops"`
+
+	// NetworkBytes is everything that crossed a wire this level:
+	// IntraSuperBytes + InterSuperBytes + CollectiveWireBytes.
+	NetworkBytes int64 `json:"network_bytes"`
+	// NetworkMessages counts point-to-point wire messages.
+	NetworkMessages int64 `json:"network_messages"`
+
+	// Critical-path statistics (machine-wide maxima over nodes).
+	MaxNodeProcessedBytes int64 `json:"max_node_processed_bytes"`
+	MaxNodeSentBytes      int64 `json:"max_node_sent_bytes"`
+}
+
+// RunTrace is the full timeline of one rooted BFS.
+type RunTrace struct {
+	Root           int64       `json:"root"`
+	Visited        int64       `json:"visited"`
+	TraversedEdges int64       `json:"traversed_edges"`
+	BottomUpLevels int         `json:"bottomup_levels"`
+	Levels         []LevelSpan `json:"levels"`
+
+	// TotalSeconds and GTEPS are the run's reported results; TotalSeconds
+	// equals the sum of the spans' WallSeconds.
+	TotalSeconds float64 `json:"total_seconds"`
+	GTEPS        float64 `json:"gteps"`
+
+	// Termination traffic: the frontier-emptiness collectives of the
+	// final loop iteration, which belong to no level.
+	TerminationCollectiveBytes int64 `json:"termination_collective_bytes"`
+	TerminationWireBytes       int64 `json:"termination_wire_bytes"`
+
+	// TotalNetworkBytes is the run's grand total of wire bytes, as
+	// reported by the fabric counters. It equals the sum of the spans'
+	// NetworkBytes plus TerminationWireBytes.
+	TotalNetworkBytes int64 `json:"total_network_bytes"`
+}
+
+// Reconcile verifies the trace's books balance: summed span wall times
+// match TotalSeconds and summed span byte counts (plus termination
+// traffic) match TotalNetworkBytes. A non-nil error means the trace was
+// assembled inconsistently — it is used by tests and by -trace-out
+// consumers as an integrity check.
+func (t *RunTrace) Reconcile() error {
+	var secs float64
+	var bytes int64
+	for _, s := range t.Levels {
+		secs += s.WallSeconds
+		bytes += s.NetworkBytes
+	}
+	if diff := math.Abs(secs - t.TotalSeconds); diff > 1e-9*(1+math.Abs(t.TotalSeconds)) {
+		return fmt.Errorf("obs: level times sum to %.9gs, run reports %.9gs", secs, t.TotalSeconds)
+	}
+	if got := bytes + t.TerminationWireBytes; got != t.TotalNetworkBytes {
+		return fmt.Errorf("obs: level bytes sum to %d (+%d termination), run reports %d",
+			bytes, t.TerminationWireBytes, t.TotalNetworkBytes)
+	}
+	return nil
+}
+
+// TraceRecorder collects RunTraces; safe for concurrent Record calls.
+type TraceRecorder struct {
+	mu   sync.Mutex
+	runs []RunTrace
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
+
+// Record appends one run's trace.
+func (r *TraceRecorder) Record(t RunTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs = append(r.runs, t)
+}
+
+// Runs returns a copy of the recorded traces in recording order.
+func (r *TraceRecorder) Runs() []RunTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunTrace, len(r.runs))
+	copy(out, r.runs)
+	return out
+}
+
+// Len returns the number of recorded runs.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}

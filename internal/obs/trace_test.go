@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleTrace builds a small trace whose books balance.
+func sampleTrace() RunTrace {
+	return RunTrace{
+		Root:           42,
+		Visited:        1000,
+		TraversedEdges: 16000,
+		BottomUpLevels: 1,
+		Levels: []LevelSpan{
+			{
+				Level: 0, Direction: "topdown",
+				FrontierVertices: 1, EdgesRelaxed: 16,
+				WallSeconds: 1e-4, Rounds: 2,
+				LoopbackBytes: 64, IntraSuperBytes: 128, InterSuperBytes: 256,
+				CollectiveBytes: 96, CollectiveWireBytes: 80, CollectiveOps: 6,
+				NetworkBytes: 128 + 256 + 80, NetworkMessages: 12,
+				MaxNodeProcessedBytes: 640, MaxNodeSentBytes: 320,
+			},
+			{
+				Level: 1, Direction: "bottomup",
+				FrontierVertices: 900, EdgesRelaxed: 15000,
+				WallSeconds: 3e-4, Rounds: 4,
+				IntraSuperBytes: 512, InterSuperBytes: 1024,
+				CollectiveBytes: 96, CollectiveWireBytes: 80, CollectiveOps: 6,
+				NetworkBytes: 512 + 1024 + 80, NetworkMessages: 30,
+				MaxNodeProcessedBytes: 4096, MaxNodeSentBytes: 2048,
+			},
+		},
+		TotalSeconds:               4e-4,
+		GTEPS:                      0.04,
+		TerminationCollectiveBytes: 48,
+		TerminationWireBytes:       40,
+		TotalNetworkBytes:          (128 + 256 + 80) + (512 + 1024 + 80) + 40,
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Reconcile(); err != nil {
+		t.Fatalf("consistent trace rejected: %v", err)
+	}
+
+	bad := sampleTrace()
+	bad.TotalSeconds *= 2
+	if err := bad.Reconcile(); err == nil {
+		t.Fatal("time mismatch not detected")
+	} else if !strings.Contains(err.Error(), "level times") {
+		t.Fatalf("wrong error for time mismatch: %v", err)
+	}
+
+	bad = sampleTrace()
+	bad.TotalNetworkBytes++
+	if err := bad.Reconcile(); err == nil {
+		t.Fatal("byte mismatch not detected")
+	} else if !strings.Contains(err.Error(), "level bytes") {
+		t.Fatalf("wrong error for byte mismatch: %v", err)
+	}
+}
+
+// TestTraceJSONRoundTrip writes a recorder through WriteJSON and reads it
+// back with ReadTraceJSON, expecting structural equality.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	rec := NewTraceRecorder()
+	first := sampleTrace()
+	second := sampleTrace()
+	second.Root = 7
+	second.Levels = second.Levels[:1]
+	second.TotalSeconds = second.Levels[0].WallSeconds
+	second.TotalNetworkBytes = second.Levels[0].NetworkBytes + second.TerminationWireBytes
+	rec.Record(first)
+	rec.Record(second)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RunTrace{first, second}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	for _, tr := range got {
+		if err := tr.Reconcile(); err != nil {
+			t.Fatalf("round-tripped trace does not reconcile: %v", err)
+		}
+	}
+}
+
+// TestTraceJSONFieldNames pins the wire schema (snake_case keys) so
+// external consumers of -trace-out files don't silently break.
+func TestTraceJSONFieldNames(t *testing.T) {
+	raw, err := json.Marshal(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"root"`, `"levels"`, `"total_seconds"`, `"total_network_bytes"`,
+		`"termination_wire_bytes"`, `"frontier_vertices"`, `"edges_relaxed"`,
+		`"wall_seconds"`, `"intra_super_bytes"`, `"inter_super_bytes"`,
+		`"collective_wire_bytes"`, `"network_bytes"`,
+	} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+}
+
+func TestReadTraceJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadTraceJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTraceRecorderConcurrent(t *testing.T) {
+	rec := NewTraceRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Record(RunTrace{Root: int64(w*100 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Len() != 800 {
+		t.Fatalf("recorded %d runs, want 800", rec.Len())
+	}
+}
+
+func TestTraceWriteTable(t *testing.T) {
+	rec := NewTraceRecorder()
+	rec.Record(sampleTrace())
+	var sb strings.Builder
+	rec.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"root 42", "topdown", "bottomup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -74,6 +74,13 @@ type LevelStats struct {
 	Level     int
 	Direction string // "topdown" or "bottomup"
 
+	// FrontierVertices is the global frontier size entering the level
+	// (nf) and FrontierEdges its degree sum (mf) — the runtime statistics
+	// TRAVERSAL_POLICY consumes, kept for tracing. Neither enters the
+	// timing model.
+	FrontierVertices int64
+	FrontierEdges    int64
+
 	// MaxNodeProcessedBytes is the largest per-node module input volume
 	// (generator reads + handler updates) — the compute critical path.
 	MaxNodeProcessedBytes int64

@@ -3,6 +3,7 @@ package shuffle
 import (
 	"fmt"
 
+	"swbfs/internal/obs"
 	"swbfs/internal/sw"
 )
 
@@ -17,6 +18,10 @@ type Engine struct {
 	numDest int
 	// batches accumulates records per destination.
 	batches [][]Record
+	// metrics, when non-nil, receives every pass's statistics (see
+	// Instrument) — the engine's registration into the unified
+	// observability registry, replacing ad-hoc Stats plumbing.
+	metrics *obs.Registry
 }
 
 // Stats describes one shuffle pass for the timing model.
@@ -57,6 +62,23 @@ func NewEngine(layout Layout, numDest int) (*Engine, error) {
 // NumDest returns the destination count the engine was built for.
 func (e *Engine) NumDest() int { return e.numDest }
 
+// Instrument attaches a metrics registry: every subsequent Shuffle pass
+// folds its statistics into the "shuffle.*" counters. A nil registry
+// detaches.
+func (e *Engine) Instrument(r *obs.Registry) { e.metrics = r }
+
+// AddTo folds one pass's statistics into an obs metrics registry.
+func (s Stats) AddTo(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("shuffle.passes").Inc()
+	r.Counter("shuffle.records").Add(s.Records)
+	r.Counter("shuffle.register_transfers").Add(s.RegisterTransfers)
+	r.Counter("shuffle.dma.read_bytes").Add(s.DMAReadBytes)
+	r.Counter("shuffle.dma.write_bytes").Add(s.DMAWriteBytes)
+}
+
 // Shuffle routes the records to their per-destination output buffers and
 // returns the pass statistics. It may be called repeatedly; buffers
 // accumulate until Drain.
@@ -73,6 +95,7 @@ func (e *Engine) Shuffle(records []Record) (Stats, error) {
 	stats.DMAReadBytes = stats.Records * RecordBytes
 	stats.DMAWriteBytes = stats.Records * RecordBytes
 	stats.ModeledSeconds = ModelSeconds(e.layout, stats.Records)
+	stats.AddTo(e.metrics)
 	return stats, nil
 }
 

@@ -12,6 +12,10 @@
 // freedom and measure modelled register-shuffle bandwidth), and a fast
 // functional engine with identical observable behaviour (used inside
 // large BFS runs, with equivalence property-tested against the mesh).
+//
+// Engine.Instrument attaches an obs.Registry; every shuffle pass then
+// reports its record, register-transfer and DMA byte statistics under the
+// shuffle.* metric names (see docs/OBSERVABILITY.md).
 package shuffle
 
 import (
