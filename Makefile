@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench bench-snapshot bench-diff
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-snapshot runs the standard sweep and writes the next BENCH_<n>.json
+# in the repo root; bench-diff compares the newest two snapshots and fails
+# on a GTEPS regression beyond the default threshold. Workflow: snapshot on
+# a known-good commit, change code, snapshot again, diff.
+bench-snapshot:
+	$(GO) run ./cmd/benchtrend
+
+bench-diff:
+	$(GO) run ./cmd/benchtrend -compare-latest

@@ -1,0 +1,107 @@
+// Command benchtrend maintains the repository's benchmark trajectory.
+//
+// With no mode flag it runs the standard sweep and writes the next
+// schema-versioned BENCH_<n>.json snapshot into -dir:
+//
+//	benchtrend                     # writes BENCH_<n>.json in .
+//	benchtrend -out baseline.json  # explicit path
+//
+// Comparison modes print a per-metric delta table and exit nonzero when
+// the harmonic-mean GTEPS of any scenario regresses beyond -threshold:
+//
+//	benchtrend -compare BENCH_0.json BENCH_1.json
+//	benchtrend -compare-latest     # newest two BENCH_<n>.json in -dir
+//
+// See docs/OBSERVABILITY.md for the snapshot schema and workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swbfs/internal/trend"
+)
+
+func main() {
+	var (
+		dir           = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+		out           = flag.String("out", "", "write the snapshot to this path instead of the next BENCH_<n>.json in -dir")
+		seed          = flag.Int64("seed", 1, "deterministic seed for the sweep")
+		threshold     = flag.Float64("threshold", trend.DefaultThreshold, "relative GTEPS drop that fails the comparison")
+		compare       = flag.Bool("compare", false, "compare two snapshot files given as arguments instead of running the sweep")
+		compareLatest = flag.Bool("compare-latest", false, "compare the newest two BENCH_<n>.json snapshots in -dir")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two snapshot files (old new)")
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	case *compareLatest:
+		if flag.NArg() != 0 {
+			fatalf("-compare-latest takes no arguments (set -dir)")
+		}
+		paths, err := trend.SnapshotPaths(*dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(paths) < 2 {
+			fmt.Fprintf(os.Stderr, "benchtrend: only %d snapshot(s) in %s — nothing to compare\n", len(paths), *dir)
+			return
+		}
+		runCompare(paths[len(paths)-2], paths[len(paths)-1], *threshold)
+	default:
+		if flag.NArg() != 0 {
+			fatalf("unexpected arguments %v (use -compare old new to compare)", flag.Args())
+		}
+		path := *out
+		if path == "" {
+			var err error
+			path, err = trend.NextSnapshotPath(*dir)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchtrend: running the standard sweep (seed %d)...\n", *seed)
+		snap, err := trend.Collect(trend.Options{Seed: *seed, GitDir: *dir})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := trend.WriteSnapshot(path, snap); err != nil {
+			fatalf("%v", err)
+		}
+		for _, sc := range snap.Scenarios {
+			fmt.Fprintf(os.Stderr, "benchtrend:   %-22s %8.4f GTEPS  (%.1fs host)\n",
+				sc.Name, sc.GTEPS, sc.HostSeconds)
+		}
+		fmt.Fprintf(os.Stderr, "benchtrend: wrote %s (git %s, %.1fs total)\n",
+			path, snap.GitSHA, snap.HostSeconds)
+	}
+}
+
+// runCompare loads both snapshots, prints the delta table, and exits
+// nonzero on a GTEPS regression — the CI gate.
+func runCompare(oldPath, newPath string, threshold float64) {
+	oldSnap, err := trend.ReadSnapshot(oldPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newSnap, err := trend.ReadSnapshot(newPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("comparing %s (git %s) -> %s (git %s)\n\n", oldPath, oldSnap.GitSHA, newPath, newSnap.GitSHA)
+	rep := trend.Compare(oldSnap, newSnap, threshold)
+	rep.Write(os.Stdout)
+	if rep.Regressed() {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
@@ -43,6 +45,8 @@ func main() {
 		trace      = flag.String("trace", "", "write per-root/per-level statistics as JSON lines to this file")
 		metrics    = flag.Bool("metrics", false, "print the unified metrics registry after the run (see docs/OBSERVABILITY.md)")
 		traceOut   = flag.String("trace-out", "", "write the structured per-level BFS trace (one RunTrace per root) as JSON to this file")
+		serveAddr  = flag.String("serve", "", "serve live telemetry on this address during the run: /metrics (Prometheus), /traces, /events (SSE), /debug/pprof")
+		chromeOut  = flag.String("chrome-trace", "", "write the run timeline (per-node module tracks + relay flow arrows) as Chrome trace-event JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the kernel runs to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the kernel runs to this file")
 		kernel     = flag.String("kernel", "bfs", "benchmark kernel: bfs | sssp (Graph500 v3 second kernel)")
@@ -80,9 +84,22 @@ func main() {
 	machine.Profile = obs.ProfileConfig{CPUProfile: *cpuprofile, ExecTrace: *exectrace}
 
 	var observer *obs.Observer
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *serveAddr != "" || *chromeOut != "" {
 		observer = obs.New()
 		machine.Obs = observer
+	}
+	if *chromeOut != "" {
+		observer.Spans = obs.NewSpanRecorder()
+	}
+	var server *obs.Server
+	if *serveAddr != "" {
+		observer.Progress = obs.NewProgressBroker()
+		var err error
+		server, err = obs.Serve(*serveAddr, observer)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: telemetry on %s (/metrics /traces /events /debug/pprof)\n", server.URL())
 	}
 
 	if *kernel == "sssp" {
@@ -107,10 +124,11 @@ func main() {
 		fmt.Printf("sssp_TEPS:            %s\n", report.TEPS)
 		fmt.Printf("harmonic_mean_GTEPS:  %.4f\n", report.GTEPSHarmonicMean())
 		if observer != nil {
-			if err := emitObservability(observer, *metrics, *traceOut); err != nil {
+			if err := emitObservability(observer, *metrics, *traceOut, *chromeOut); err != nil {
 				fatalf("%v", err)
 			}
 		}
+		holdServer(server)
 		return
 	}
 	if *kernel != "bfs" {
@@ -149,15 +167,16 @@ func main() {
 		}
 	}
 	if observer != nil {
-		if err := emitObservability(observer, *metrics, *traceOut); err != nil {
+		if err := emitObservability(observer, *metrics, *traceOut, *chromeOut); err != nil {
 			fatalf("%v", err)
 		}
 	}
+	holdServer(server)
 }
 
 // emitObservability prints the metrics table and/or writes the structured
-// trace, verifying every run's books balance first.
-func emitObservability(observer *obs.Observer, printMetrics bool, traceOut string) error {
+// and Chrome traces, verifying every run's books balance first.
+func emitObservability(observer *obs.Observer, printMetrics bool, traceOut, chromeOut string) error {
 	for _, run := range observer.Trace.Runs() {
 		if err := run.Reconcile(); err != nil {
 			return fmt.Errorf("trace for root %d does not reconcile: %w", run.Root, err)
@@ -176,9 +195,38 @@ func emitObservability(observer *obs.Observer, printMetrics bool, traceOut strin
 			f.Close()
 			return fmt.Errorf("writing trace: %w", err)
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return fmt.Errorf("writing chrome trace: %w", err)
+		}
+		if err := obs.WriteChromeTrace(f, observer.Trace.Runs(), observer.Spans.Runs()); err != nil {
+			f.Close()
+			return fmt.Errorf("writing chrome trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing chrome trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: chrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", chromeOut)
 	}
 	return nil
+}
+
+// holdServer keeps the telemetry server alive after the benchmark so its
+// endpoints stay inspectable; Ctrl-C exits.
+func holdServer(server *obs.Server) {
+	if server == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "graph500: benchmark done; telemetry still on %s — Ctrl-C to exit\n", server.URL())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	server.Close()
 }
 
 // writeTrace dumps one JSON object per BFS run (with its per-level

@@ -4,6 +4,10 @@
 //
 //	graphgen -scale 20 -seed 7 > edges.txt
 //	graphgen -scale 20 -format binary -out edges.bin
+//
+// A one-line summary (vertices, edges, bytes, elapsed) always goes to
+// stderr; at -scale >= 22 (tens of millions of edges and up) periodic
+// progress lines report generation and write progress.
 package main
 
 import (
@@ -13,9 +17,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"swbfs/internal/graph"
 )
+
+// progressScale is the -scale threshold for periodic progress reporting;
+// below it runs finish in seconds and progress would be noise.
+const progressScale = 22
 
 func main() {
 	var (
@@ -27,11 +36,20 @@ func main() {
 	)
 	flag.Parse()
 
-	edges, err := graph.GenerateKronecker(graph.KroneckerConfig{
-		Scale: *scale, EdgeFactor: *edgefactor, Seed: *seed,
-	})
+	start := time.Now()
+	cfg := graph.KroneckerConfig{Scale: *scale, EdgeFactor: *edgefactor, Seed: *seed}
+	verbose := *scale >= progressScale
+	if verbose {
+		fmt.Fprintf(os.Stderr, "graphgen: generating %d vertices, %d edges (scale %d)...\n",
+			cfg.NumVertices(), cfg.NumEdges(), *scale)
+	}
+	edges, err := graph.GenerateKronecker(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "graphgen: generated %d edges in %s, writing %s...\n",
+			len(edges), time.Since(start).Round(time.Millisecond), *format)
 	}
 
 	var w io.Writer = os.Stdout
@@ -47,30 +65,55 @@ func main() {
 		}()
 		w = f
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
-	defer func() {
-		if err := bw.Flush(); err != nil {
-			fatalf("flush: %v", err)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<20)
+
+	// report prints write progress every ~5% of the edge list on big runs.
+	step := len(edges) / 20
+	report := func(i int) {
+		if !verbose || step == 0 || (i+1)%step != 0 {
+			return
 		}
-	}()
+		fmt.Fprintf(os.Stderr, "graphgen: wrote %d/%d edges (%d%%)\n",
+			i+1, len(edges), (i+1)*100/len(edges))
+	}
 
 	switch *format {
 	case "text":
-		for _, e := range edges {
+		for i, e := range edges {
 			fmt.Fprintf(bw, "%d\t%d\n", e.From, e.To)
+			report(i)
 		}
 	case "binary":
 		var buf [16]byte
-		for _, e := range edges {
+		for i, e := range edges {
 			binary.LittleEndian.PutUint64(buf[0:8], uint64(e.From))
 			binary.LittleEndian.PutUint64(buf[8:16], uint64(e.To))
 			if _, err := bw.Write(buf[:]); err != nil {
 				fatalf("write: %v", err)
 			}
+			report(i)
 		}
 	default:
 		fatalf("unknown format %q", *format)
 	}
+	if err := bw.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: %d vertices, %d edges, %d bytes written in %s\n",
+		cfg.NumVertices(), len(edges), cw.n, time.Since(start).Round(time.Millisecond))
+}
+
+// countingWriter tracks bytes written through it for the summary line.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func fatalf(format string, args ...any) {

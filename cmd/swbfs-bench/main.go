@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"swbfs/internal/experiments"
 	"swbfs/internal/obs"
@@ -32,13 +34,16 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "small sweeps (seconds)")
-		full     = flag.Bool("full", false, "large sweeps (minutes; up to 256 functional nodes)")
-		seed     = flag.Int64("seed", 20160624, "deterministic seed")
-		roots    = flag.Int("roots", 0, "BFS roots per data point (0 = per-experiment default)")
-		format   = flag.String("format", "text", "output format: text | csv | json")
-		metrics  = flag.Bool("metrics", false, "print the unified metrics registry after the sweep (see docs/OBSERVABILITY.md)")
-		traceOut = flag.String("trace-out", "", "write the structured per-level BFS traces of all functional runs as JSON to this file")
+		quick      = flag.Bool("quick", false, "small sweeps (seconds)")
+		full       = flag.Bool("full", false, "large sweeps (minutes; up to 256 functional nodes)")
+		seed       = flag.Int64("seed", 20160624, "deterministic seed")
+		roots      = flag.Int("roots", 0, "BFS roots per data point (0 = per-experiment default)")
+		format     = flag.String("format", "text", "output format: text | csv | json")
+		metrics    = flag.Bool("metrics", false, "print the unified metrics registry after the sweep (see docs/OBSERVABILITY.md)")
+		traceOut   = flag.String("trace-out", "", "write the structured per-level BFS traces of all functional runs as JSON to this file")
+		serveAddr  = flag.String("serve", "", "serve live telemetry on this address during the sweep: /metrics (Prometheus), /traces, /events (SSE), /debug/pprof")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,9 +52,33 @@ func main() {
 	cmd := flag.Arg(0)
 
 	var observer *obs.Observer
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *serveAddr != "" {
 		observer = obs.New()
 		experiments.SetObserver(observer)
+	}
+	var server *obs.Server
+	if *serveAddr != "" {
+		observer.Progress = obs.NewProgressBroker()
+		var err error
+		server, err = obs.Serve(*serveAddr, observer)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "swbfs-bench: telemetry on %s (/metrics /traces /events /debug/pprof)\n", server.URL())
+	}
+
+	// Host-side profiling of the whole sweep (the same StartProfile hook
+	// cmd/graph500 wires around its kernel runs).
+	if *cpuprofile != "" || *exectrace != "" {
+		stop, err := obs.StartProfile(obs.ProfileConfig{CPUProfile: *cpuprofile, ExecTrace: *exectrace})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "swbfs-bench: stopping profile: %v\n", err)
+			}
+		}()
 	}
 
 	fig11opts := experiments.Fig11Options{Seed: *seed, Roots: *roots}
@@ -176,6 +205,13 @@ func main() {
 				fatalf("writing trace: %v", err)
 			}
 		}
+	}
+	if server != nil {
+		fmt.Fprintf(os.Stderr, "swbfs-bench: sweep done; telemetry still on %s — Ctrl-C to exit\n", server.URL())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		server.Close()
 	}
 }
 

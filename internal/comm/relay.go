@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sort"
+
+	"swbfs/internal/obs"
 )
 
 // GroupShape arranges P nodes as an N x M matrix (Figure 7): N groups
@@ -94,7 +96,17 @@ type RelayEndpoint struct {
 	// totalRelayedBytes accumulates across levels for whole-run metrics.
 	relayedBytes      int64
 	totalRelayedBytes int64
+
+	// flows, when non-nil, records each transport hop (stage-one envelope
+	// to the relay, stage-two batch to the handler) so the Chrome-trace
+	// export can draw cross-node flow arrows. The recorder aggregates per
+	// (level, channel, stage, src, dst) and is safe for concurrent use.
+	flows *obs.SpanRecorder
 }
+
+// SetFlowSink attaches (or detaches, with nil) the flow-link recorder.
+// Call before the endpoint carries traffic.
+func (e *RelayEndpoint) SetFlowSink(sr *obs.SpanRecorder) { e.flows = sr }
 
 // RelayedBytes reports the pair bytes relayed during the current level.
 // Call it from the handler goroutine after the level completes.
@@ -183,6 +195,13 @@ func (e *RelayEndpoint) flushGroup(ch Channel, group int) error {
 	}
 	sort.Slice(inner, func(i, j int) bool { return inner[i].Dst < inner[j].Dst })
 	relay := e.shape.Relay(e.node, group*e.shape.M)
+	if e.flows != nil {
+		var payload int64
+		for _, in := range inner {
+			payload += int64(len(in.Pairs)) * PairBytes
+		}
+		e.flows.Flow(e.level, ch.String(), obs.FlowStageOne, e.node, relay, payload)
+	}
 	return e.net.deliver(Batch{
 		Kind: KindRelayData, Channel: ch, Src: e.node, Dst: relay, Level: e.level, Inner: inner,
 	})
@@ -295,6 +314,9 @@ func (e *RelayEndpoint) relayFlush(ch Channel, dst int) error {
 	}
 	delete(e.relayBuf[ch], dst)
 	delete(e.relayBytes[ch], dst)
+	if e.flows != nil {
+		e.flows.Flow(e.level, ch.String(), obs.FlowStageTwo, e.node, dst, int64(len(pairs))*PairBytes)
+	}
 	return e.net.deliver(Batch{
 		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
 	})

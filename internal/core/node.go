@@ -64,6 +64,21 @@ type nodeState struct {
 	runRelayBytes   int64
 	runInvocations  int64
 	runSmallBatches int64
+
+	// spanLog retains every level's per-module work when span recording
+	// is enabled (cfg.Obs.Spans non-nil), one entry per level in order —
+	// the raw material of the Chrome-trace module timeline. Each node
+	// appends only to its own log.
+	spanLog []moduleWork
+}
+
+// moduleWork is one level's per-module input volume on one node:
+// generator, forward handler, backward handler, relay — the same order as
+// moduleBytes.
+type moduleWork struct {
+	level int
+	dir   Direction
+	bytes [4]int64
 }
 
 // accumulateRun folds the level's counters into the whole-run totals;

@@ -8,6 +8,7 @@ import (
 	"swbfs/internal/comm"
 	"swbfs/internal/fabric"
 	"swbfs/internal/graph"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
 )
 
@@ -62,9 +63,10 @@ type Runner struct {
 	hubVisited   *graph.Bitmap
 
 	// Per-run state.
-	net    *comm.Network
-	nodes  []*nodeState
-	policy *Policy
+	net     *comm.Network
+	nodes   []*nodeState
+	policy  *Policy
+	curRoot graph.Vertex
 
 	mu     sync.Mutex
 	levels []perf.LevelStats
@@ -159,6 +161,13 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	if root < 0 || int64(root) >= r.g.N {
 		return nil, fmt.Errorf("core: root %d out of range [0, %d)", root, r.g.N)
 	}
+	r.curRoot = root
+	if pb := r.cfg.Obs.ProgressOf(); pb != nil {
+		pb.Publish(obs.LiveEvent{Kind: obs.EventRunStart, Root: int64(root)})
+	}
+	if sr := r.cfg.Obs.SpansOf(); sr != nil {
+		sr.BeginRun(int64(root))
+	}
 
 	net, err := comm.NewNetwork(comm.Config{
 		Nodes:           r.cfg.Nodes,
@@ -210,6 +219,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			ep.SetFlowSink(r.cfg.Obs.SpansOf())
 			ns.ep = ep
 		} else {
 			ns.ep = comm.NewDirectEndpoint(net, node)
@@ -285,6 +295,16 @@ func (ns *nodeState) runBFS() error {
 		// the same state machine.
 		dir := ns.policyReplica.Next(nf, mf, mu, r.g.N)
 
+		if ns.id == 0 {
+			if pb := r.cfg.Obs.ProgressOf(); pb != nil {
+				pb.Publish(obs.LiveEvent{
+					Kind: obs.EventLevel, Root: int64(r.curRoot),
+					Level: level, Direction: dir.String(),
+					FrontierVertices: nf, EdgesRelaxed: mf,
+				})
+			}
+		}
+
 		// Hub frontier exchange (with the empty-flag optimization).
 		if r.hubs != nil {
 			if err := ns.exchangeHubs(); err != nil {
@@ -314,6 +334,9 @@ func (ns *nodeState) runBFS() error {
 		}
 
 		ns.accumulateRun()
+		if r.cfg.Obs.SpansOf() != nil {
+			ns.spanLog = append(ns.spanLog, moduleWork{level: level, dir: dir, bytes: ns.moduleBytes()})
+		}
 
 		if ns.id == 0 {
 			after := r.net.Counters.Snapshot()

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Module track names of the pipelined module mapping (Figure 10). The
+// generator track carries Forward Generator spans on top-down levels and
+// Backward Generator spans on bottom-up levels; the relay track carries the
+// Forward/Backward Relay duties the node performs for its group.
+const (
+	ModuleForwardGenerator  = "Forward Generator"
+	ModuleBackwardGenerator = "Backward Generator"
+	ModuleForwardHandler    = "Forward Handler"
+	ModuleBackwardHandler   = "Backward Handler"
+	ModuleRelay             = "Relay"
+)
+
+// moduleTrack maps a module name to its fixed thread id inside a node's
+// process track: 0 generator, 1 forward handler, 2 backward handler,
+// 3 relay.
+func moduleTrack(module string) int {
+	switch module {
+	case ModuleForwardGenerator, ModuleBackwardGenerator:
+		return 0
+	case ModuleForwardHandler:
+		return 1
+	case ModuleBackwardHandler:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// trackNames labels the per-node threads in track order.
+var trackNames = [4]string{"generator", "forward handler", "backward handler", "relay"}
+
+// ModuleSpan is one module's work during one level on one simulated node,
+// placed on the run's modelled timeline (seconds from run start).
+type ModuleSpan struct {
+	Node   int     `json:"node"`
+	Module string  `json:"module"`
+	Level  int     `json:"level"`
+	Start  float64 `json:"start_seconds"`
+	Dur    float64 `json:"duration_seconds"`
+	Bytes  int64   `json:"bytes"`
+}
+
+// FlowStage distinguishes the two hops of the relay transport.
+type FlowStage int
+
+const (
+	// FlowStageOne is the generator→relay hop (the batched envelope to the
+	// destination group's relay in the sender's column).
+	FlowStageOne FlowStage = 1
+	// FlowStageTwo is the relay→handler hop (the shuffled per-destination
+	// batch forwarded within the relay's row).
+	FlowStageTwo FlowStage = 2
+)
+
+// FlowLink is the aggregated data flow between two module spans of one
+// level: every batch a node shipped to a given peer on a given channel and
+// stage, summed. The Chrome export renders each link as a flow arrow from
+// the source module's span to the destination module's span.
+type FlowLink struct {
+	Level   int       `json:"level"`
+	Channel string    `json:"channel"`
+	Stage   FlowStage `json:"stage"`
+	From    int       `json:"from"`
+	To      int       `json:"to"`
+	Bytes   int64     `json:"bytes"`
+}
+
+// RunSpans is the module-level timeline of one rooted BFS.
+type RunSpans struct {
+	Root int64 `json:"root"`
+	// Offset is where this run starts on the benchmark timeline (runs are
+	// sequential; offsets accumulate the previous runs' totals).
+	Offset float64 `json:"offset_seconds"`
+	// Total is the run's modelled wall time.
+	Total float64      `json:"total_seconds"`
+	Spans []ModuleSpan `json:"spans"`
+	Flows []FlowLink   `json:"flows"`
+}
+
+type flowKey struct {
+	level    int
+	channel  string
+	stage    FlowStage
+	from, to int
+}
+
+// SpanRecorder collects the module spans and flow links of successive runs.
+// Flow calls arrive concurrently from every node's module goroutines during
+// a run; BeginRun/EndRun bracket each run and are called by the runner.
+type SpanRecorder struct {
+	mu       sync.Mutex
+	runs     []RunSpans
+	inRun    bool
+	curRoot  int64
+	curFlows map[flowKey]int64
+	offset   float64
+}
+
+// NewSpanRecorder returns an empty recorder.
+func NewSpanRecorder() *SpanRecorder { return &SpanRecorder{} }
+
+// BeginRun opens the recording window of one rooted BFS.
+func (r *SpanRecorder) BeginRun(root int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inRun = true
+	r.curRoot = root
+	r.curFlows = make(map[flowKey]int64)
+}
+
+// Flow records bytes moving from node `from` to node `to` on one hop of
+// the relay transport. Safe for concurrent use; links aggregate per
+// (level, channel, stage, from, to).
+func (r *SpanRecorder) Flow(level int, channel string, stage FlowStage, from, to int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.inRun {
+		return
+	}
+	r.curFlows[flowKey{level, channel, stage, from, to}] += bytes
+}
+
+// EndRun seals the current run: the caller supplies the run's total
+// modelled seconds and its module spans (built post-run, when per-level
+// wall times are known). The buffered flow links are sorted into a
+// deterministic order.
+func (r *SpanRecorder) EndRun(total float64, spans []ModuleSpan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.inRun {
+		return
+	}
+	flows := make([]FlowLink, 0, len(r.curFlows))
+	for k, b := range r.curFlows {
+		flows = append(flows, FlowLink{
+			Level: k.level, Channel: k.channel, Stage: k.stage,
+			From: k.from, To: k.to, Bytes: b,
+		})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	r.runs = append(r.runs, RunSpans{
+		Root:   r.curRoot,
+		Offset: r.offset,
+		Total:  total,
+		Spans:  spans,
+		Flows:  flows,
+	})
+	r.offset += total
+	r.inRun = false
+	r.curFlows = nil
+}
+
+// Runs returns a copy of the sealed runs in recording order.
+func (r *SpanRecorder) Runs() []RunSpans {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunSpans, len(r.runs))
+	copy(out, r.runs)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Field order is fixed by the struct, map args marshal with sorted keys —
+// the output is byte-deterministic for a given input.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// machinePid is the process track carrying the per-run / per-level BFS
+// timeline; node n's module tracks live on pid n+1.
+const machinePid = 0
+
+// WriteChromeTrace exports the benchmark as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto. Track layout:
+//
+//   - pid 0 ("machine"): one slice per run ("root N") nesting one slice
+//     per BFS level, from the RunTraces;
+//   - pid n+1 ("node n"): four module threads (generator, forward handler,
+//     backward handler, relay) carrying the ModuleSpans, plus flow arrows
+//     for every relay-transport hop so cross-node causality is visible.
+//
+// traces and spans are matched by index (both are recorded per run, in
+// order); either may be shorter — missing halves just thin the output.
+// Timestamps are microseconds of modelled machine time; runs are laid out
+// sequentially at their recorded offsets.
+func WriteChromeTrace(w io.Writer, traces []RunTrace, spans []RunSpans) error {
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: machinePid,
+		Args: map[string]any{"name": "machine"},
+	})
+
+	// Level timeline from the RunTraces. Offsets come from the matching
+	// RunSpans when present, else accumulate the traces' own totals.
+	var offset float64
+	for i, rt := range traces {
+		if i < len(spans) {
+			offset = spans[i].Offset
+		}
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("root %d", rt.Root), Cat: "run", Ph: "X",
+			Ts: offset * 1e6, Dur: rt.TotalSeconds * 1e6,
+			Pid: machinePid, Tid: 0,
+			Args: map[string]any{
+				"visited":         rt.Visited,
+				"traversed_edges": rt.TraversedEdges,
+				"gteps":           rt.GTEPS,
+			},
+		})
+		levelStart := offset
+		for _, s := range rt.Levels {
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("L%d %s", s.Level, s.Direction), Cat: "level", Ph: "X",
+				Ts: levelStart * 1e6, Dur: s.WallSeconds * 1e6,
+				Pid: machinePid, Tid: 0,
+				Args: map[string]any{
+					"frontier_vertices": s.FrontierVertices,
+					"edges_relaxed":     s.EdgesRelaxed,
+					"network_bytes":     s.NetworkBytes,
+					"rounds":            s.Rounds,
+				},
+			})
+			levelStart += s.WallSeconds
+		}
+		offset += rt.TotalSeconds
+	}
+
+	// Node/module tracks and flow arrows from the RunSpans.
+	namedNodes := map[int]bool{}
+	flowID := 0
+	for _, rs := range spans {
+		// spanAt locates a span for flow anchoring: flows bind to the
+		// slice enclosing their timestamp on the given thread.
+		type spanPos struct{ start, dur float64 }
+		index := make(map[[3]int]spanPos) // (node, track, level)
+		for _, sp := range rs.Spans {
+			node, track := sp.Node, moduleTrack(sp.Module)
+			if !namedNodes[node] {
+				namedNodes[node] = true
+				events = append(events, chromeEvent{
+					Name: "process_name", Ph: "M", Pid: node + 1,
+					Args: map[string]any{"name": fmt.Sprintf("node %d", node)},
+				})
+				for tid, tn := range trackNames {
+					events = append(events, chromeEvent{
+						Name: "thread_name", Ph: "M", Pid: node + 1, Tid: tid,
+						Args: map[string]any{"name": tn},
+					})
+				}
+			}
+			index[[3]int{node, track, sp.Level}] = spanPos{rs.Offset + sp.Start, sp.Dur}
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("%s L%d", sp.Module, sp.Level), Cat: "module", Ph: "X",
+				Ts: (rs.Offset + sp.Start) * 1e6, Dur: sp.Dur * 1e6,
+				Pid: node + 1, Tid: track,
+				Args: map[string]any{"bytes": sp.Bytes},
+			})
+		}
+		for _, fl := range rs.Flows {
+			srcTrack, dstTrack := flowTracks(fl)
+			src, okS := index[[3]int{fl.From, srcTrack, fl.Level}]
+			dst, okD := index[[3]int{fl.To, dstTrack, fl.Level}]
+			if !okS || !okD {
+				continue // zero-byte module never produced a span to anchor on
+			}
+			flowID++
+			name := fmt.Sprintf("relay stage %d %s", fl.Stage, fl.Channel)
+			// Anchor a quarter into the source span and three quarters
+			// into the destination span so arrows point forward.
+			events = append(events, chromeEvent{
+				Name: name, Cat: "flow", Ph: "s", ID: flowID,
+				Ts:  (src.start + src.dur/4) * 1e6,
+				Pid: fl.From + 1, Tid: srcTrack,
+				Args: map[string]any{"bytes": fl.Bytes},
+			})
+			events = append(events, chromeEvent{
+				Name: name, Cat: "flow", Ph: "f", BP: "e", ID: flowID,
+				Ts:  (dst.start + 3*dst.dur/4) * 1e6,
+				Pid: fl.To + 1, Tid: dstTrack,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// flowTracks resolves the source and destination module tracks of a flow
+// link: stage one leaves a generator for a relay; stage two leaves a relay
+// for the channel's handler.
+func flowTracks(fl FlowLink) (src, dst int) {
+	if fl.Stage == FlowStageOne {
+		return moduleTrack(ModuleForwardGenerator), moduleTrack(ModuleRelay)
+	}
+	if fl.Channel == "backward" {
+		return moduleTrack(ModuleRelay), moduleTrack(ModuleBackwardHandler)
+	}
+	return moduleTrack(ModuleRelay), moduleTrack(ModuleForwardHandler)
+}

@@ -18,6 +18,16 @@
 //     relaxed, modelled wall time, bytes moved per link class). Summed
 //     span times and byte counts reconcile exactly with the run's
 //     reported totals (see RunTrace.Reconcile).
+//   - SpanRecorder collects per-node, per-module work spans (the
+//     Forward/Backward Generator–Relay–Handler modules of the pipelined
+//     module mapping) plus the relay→handler flow links, exported as
+//     Chrome trace-event JSON by WriteChromeTrace.
+//   - ProgressBroker fans live run progress (current root, level,
+//     direction, frontier size) out to subscribers — the /events SSE
+//     endpoint of the telemetry server.
+//   - Serve exposes everything over HTTP: /metrics (Prometheus text
+//     exposition), /traces (RunTrace JSON), /events (SSE) and
+//     net/http/pprof.
 //   - StartProfile is the opt-in host-side pprof / runtime-trace hook,
 //     enabled through core.Config.Profile and the CLI flags.
 //
@@ -27,16 +37,24 @@
 // See docs/OBSERVABILITY.md for the metrics taxonomy and a worked example.
 package obs
 
-// Observer bundles the two observability sinks a BFS run feeds. Either
-// field may be nil to disable that sink.
+// Observer bundles the observability sinks a BFS run feeds. Any field may
+// be nil to disable that sink.
 type Observer struct {
 	// Metrics accumulates named counters/gauges/histograms across runs.
 	Metrics *Registry
 	// Trace records one RunTrace per rooted BFS.
 	Trace *TraceRecorder
+	// Spans records per-module work spans and relay flow links for the
+	// Chrome trace export (enabled by -chrome-trace).
+	Spans *SpanRecorder
+	// Progress fans live per-level progress out to subscribers (the
+	// /events endpoint of the telemetry server).
+	Progress *ProgressBroker
 }
 
-// New returns an Observer with both sinks enabled.
+// New returns an Observer with the metrics and trace sinks enabled (the
+// two every reporting path consumes). Spans and Progress are opt-in —
+// attach them when a Chrome trace or a live server is requested.
 func New() *Observer {
 	return &Observer{Metrics: NewRegistry(), Trace: NewTraceRecorder()}
 }
@@ -55,4 +73,20 @@ func (o *Observer) TraceOf() *TraceRecorder {
 		return nil
 	}
 	return o.Trace
+}
+
+// SpansOf returns o.Spans, tolerating a nil receiver.
+func (o *Observer) SpansOf() *SpanRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
+}
+
+// ProgressOf returns o.Progress, tolerating a nil receiver.
+func (o *Observer) ProgressOf() *ProgressBroker {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
 }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePromText renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` and `# TYPE` header per
+// metric family, headers before samples, families sorted by name.
+//
+// Metric names are the registry's dot-separated names with every character
+// outside [a-zA-Z0-9_:] replaced by '_' (`bfs.level.wall_us` becomes
+// `bfs_level_wall_us`). The log2-bucket histograms are exposed as native
+// Prometheus histograms with cumulative `_bucket{le="..."}` samples: our
+// bucket [2^(i-1), 2^i) holds integer values, so its inclusive upper bound
+// is 2^i - 1.
+func (r *Registry) WritePromText(w io.Writer) error {
+	s := r.Snapshot()
+	ew := &errWriter{w: w}
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		ew.printf("# HELP %s swbfs counter %s\n", pn, name)
+		ew.printf("# TYPE %s counter\n", pn)
+		ew.printf("%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		ew.printf("# HELP %s swbfs gauge %s\n", pn, name)
+		ew.printf("# TYPE %s gauge\n", pn)
+		ew.printf("%s %d\n", pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := promName(name)
+		h := s.Histograms[name]
+		ew.printf("# HELP %s swbfs histogram %s\n", pn, name)
+		ew.printf("# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.High < 0 {
+				continue // open top bucket: covered by the +Inf sample below
+			}
+			ew.printf("%s_bucket{le=\"%s\"} %d\n", pn, promUpperBound(b), cum)
+		}
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		ew.printf("%s_sum %d\n", pn, h.Sum)
+		ew.printf("%s_count %d\n", pn, h.Count)
+	}
+	return ew.err
+}
+
+// promName maps a registry name onto the Prometheus metric-name alphabet.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promUpperBound renders a bucket's inclusive upper bound for the `le`
+// label: 0 for the non-positive bucket, 2^i - 1 for [2^(i-1), 2^i).
+func promUpperBound(b HistogramBucket) string {
+	if b.High == 0 {
+		return "0"
+	}
+	return fmt.Sprint(b.High - 1)
+}
+
+// errWriter latches the first write error so the format loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

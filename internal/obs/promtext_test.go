@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleRe is the Prometheus text exposition sample grammar this exporter
+// must produce: name{labels} value, labels optional, integer values.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? (-?\d+)$`)
+
+// TestWritePromTextGrammar feeds the exporter a registry exercising every
+// metric kind (including awkward names and histogram edge buckets) and
+// parses the whole output back: every line must be a comment or a valid
+// sample, HELP/TYPE must precede a family's samples, histogram buckets
+// must be cumulative and consistent with _count.
+func TestWritePromTextGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bfs.runs").Add(64)
+	r.Counter("comm.bytes.intra-super").Add(12345)
+	r.Counter("9starts.with-digit").Inc()
+	r.Gauge("comm.connections.max").Set(12)
+	h := r.Histogram("bfs.level.wall_us")
+	for _, v := range []int64{0, -5, 1, 2, 3, 900, 1 << 40} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePromText(&buf); err != nil {
+		t.Fatalf("WritePromText: %v", err)
+	}
+	out := buf.String()
+
+	announced := map[string]bool{} // family -> TYPE line seen
+	helped := map[string]bool{}
+	sampleCount := 0
+	// bucket state of the histogram family being parsed
+	var lastCum int64
+	var curHist string
+	bucketCum := map[string]int64{}  // family -> last cumulative bucket count
+	infCount := map[string]int64{}   // family -> +Inf bucket value
+	countValue := map[string]int64{} // family -> _count value
+
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			helped[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if !helped[f[2]] {
+				t.Errorf("line %d: TYPE for %s before its HELP", ln+1, f[2])
+			}
+			announced[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: sample %q does not match the exposition grammar", ln+1, line)
+		}
+		name, value := m[1], m[3]
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && announced[trimmed] {
+				fam = trimmed
+			}
+		}
+		if !announced[fam] {
+			t.Errorf("line %d: sample %q before its TYPE header", ln+1, line)
+		}
+		if strings.Contains(name, ".") || strings.Contains(name, "-") {
+			t.Errorf("line %d: unsanitized metric name %q", ln+1, name)
+		}
+		v, _ := strconv.ParseInt(value, 10, 64)
+		if strings.HasSuffix(name, "_bucket") {
+			if fam != curHist {
+				curHist, lastCum = fam, 0
+			}
+			if v < lastCum {
+				t.Errorf("line %d: bucket counts not cumulative (%d after %d)", ln+1, v, lastCum)
+			}
+			lastCum = v
+			if strings.Contains(m[2], `le="+Inf"`) {
+				infCount[fam] = v
+			} else {
+				bucketCum[fam] = v
+			}
+		}
+		if strings.HasSuffix(name, "_count") && announced[fam] {
+			countValue[fam] = v
+		}
+		sampleCount++
+	}
+
+	if sampleCount == 0 {
+		t.Fatal("no samples in output")
+	}
+	for fam, inf := range infCount {
+		if countValue[fam] != inf {
+			t.Errorf("family %s: +Inf bucket %d != _count %d", fam, inf, countValue[fam])
+		}
+		if inf < bucketCum[fam] {
+			t.Errorf("family %s: +Inf bucket %d below last cumulative bucket %d", fam, inf, bucketCum[fam])
+		}
+	}
+	wallFam := promName("bfs.level.wall_us")
+	if infCount[wallFam] != 7 {
+		t.Errorf("histogram +Inf bucket = %d, want 7 observations", infCount[wallFam])
+	}
+	if !strings.Contains(out, "bfs_runs 64") {
+		t.Errorf("missing counter sample, output:\n%s", out)
+	}
+	if !strings.Contains(out, "comm_connections_max 12") {
+		t.Errorf("missing gauge sample, output:\n%s", out)
+	}
+	if !strings.Contains(out, "_9starts_with_digit 1") {
+		t.Errorf("leading digit not escaped, output:\n%s", out)
+	}
+}
+
+// TestPromNameIdempotent checks sanitization is stable under re-application
+// (a sanitized name must itself be a legal metric name).
+func TestPromNameIdempotent(t *testing.T) {
+	for _, name := range []string{"bfs.runs", "comm.bytes.intra-super", "9x", "ümlaut.metric", "a:b_c"} {
+		once := promName(name)
+		if twice := promName(once); twice != once {
+			t.Errorf("promName(%q) = %q, not idempotent (got %q)", name, once, twice)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live telemetry server of one Observer, started by Serve
+// and wired to the CLIs' -serve flag. Endpoints:
+//
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/traces        completed RunTraces as JSON ({"runs": [...]})
+//	/events        live run progress as Server-Sent Events
+//	/debug/pprof/  net/http/pprof of the simulator process
+type Server struct {
+	http *http.Server
+	lis  net.Listener
+	done chan struct{}
+}
+
+// NewMux builds the telemetry handler for an observer; exported so tests
+// can mount it on an httptest.Server.
+func NewMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "swbfs telemetry")
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /traces       completed per-level BFS traces (JSON)")
+		fmt.Fprintln(w, "  /events       live run progress (SSE)")
+		fmt.Fprintln(w, "  /debug/pprof/ host-side profiles")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg := o.MetricsOf()
+		if reg == nil {
+			fmt.Fprintln(w, "# metrics registry not enabled")
+			return
+		}
+		if err := reg.WritePromText(w); err != nil {
+			// Headers are gone; nothing useful left to report to the client.
+			return
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tr := o.TraceOf()
+		if tr == nil {
+			fmt.Fprintln(w, `{"runs": []}`)
+			return
+		}
+		tr.WriteJSON(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, r, o.ProgressOf())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveEvents streams the broker's LiveEvents as Server-Sent Events until
+// the client disconnects. Each event carries the JSON-encoded LiveEvent as
+// data, the kind as the SSE event name, and the sequence number as id.
+func serveEvents(w http.ResponseWriter, r *http.Request, pb *ProgressBroker) {
+	if pb == nil {
+		http.Error(w, "live progress not enabled (no run in flight or -serve without a run)", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	events, cancel := pb.Subscribe(256)
+	defer cancel()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			// Comment line keeps idle connections from timing out.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev := <-events:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// Serve starts the telemetry server on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns once it is listening; requests are handled in
+// the background until Close.
+func Serve(addr string, o *Observer) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry server: %w", err)
+	}
+	s := &Server{
+		http: &http.Server{Handler: NewMux(o)},
+		lis:  lis,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.http.Serve(lis) // returns ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down immediately (open SSE streams are cut).
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMuxEndpoints smoke-tests every non-streaming endpoint on an
+// httptest.Server.
+func TestMuxEndpoints(t *testing.T) {
+	o := New()
+	o.Metrics.Counter("bfs.runs").Add(3)
+	srv := httptest.NewServer(NewMux(o))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	if code, _, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("GET / = %d, %q", code, body)
+	}
+	code, ctype, body := get("/metrics")
+	if code != 200 || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("GET /metrics = %d, content type %q", code, ctype)
+	}
+	if !strings.Contains(body, "bfs_runs 3") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+	code, ctype, body = get("/traces")
+	if code != 200 || !strings.Contains(ctype, "application/json") {
+		t.Errorf("GET /traces = %d, content type %q", code, ctype)
+	}
+	var traces struct {
+		Runs []RunTrace `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Errorf("/traces is not valid JSON: %v\n%s", err, body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("GET /debug/pprof/ = %d", code)
+	}
+	if code, _, _ := get("/nonexistent"); code != 404 {
+		t.Errorf("GET /nonexistent = %d, want 404", code)
+	}
+	// No progress broker: /events must 404, not hang.
+	if code, _, _ := get("/events"); code != 404 {
+		t.Errorf("GET /events without broker = %d, want 404", code)
+	}
+}
+
+// TestServeEventsSSE subscribes to /events and checks the SSE framing:
+// the replayed last event arrives immediately, later publishes stream
+// through, and each frame carries id/event/data lines.
+func TestServeEventsSSE(t *testing.T) {
+	o := New()
+	o.Progress = NewProgressBroker()
+	srv := httptest.NewServer(NewMux(o))
+	defer srv.Close()
+
+	// Published before the subscription: must be replayed on connect.
+	o.Progress.Publish(LiveEvent{Kind: EventRunStart, Root: 42})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q, want text/event-stream", ct)
+	}
+
+	type frame struct {
+		id, event string
+		ev        LiveEvent
+	}
+	frames := make(chan frame, 16)
+	errs := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var cur frame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				cur.id = line[4:]
+			case strings.HasPrefix(line, "event: "):
+				cur.event = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(line[6:]), &cur.ev); err != nil {
+					errs <- err
+					return
+				}
+			case line == "" && cur.event != "":
+				frames <- cur
+				cur = frame{}
+			}
+		}
+	}()
+
+	next := func() frame {
+		select {
+		case f := <-frames:
+			return f
+		case err := <-errs:
+			t.Fatalf("parsing SSE data: %v", err)
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for SSE frame")
+		}
+		panic("unreachable")
+	}
+
+	f := next()
+	if f.event != EventRunStart || f.ev.Root != 42 || f.id != "1" {
+		t.Fatalf("replayed frame = %+v, want run-start root 42 id 1", f)
+	}
+
+	// Live publishes after subscribing. The handler's subscription happens
+	// during the GET we already observed output from, so these must stream.
+	o.Progress.Publish(LiveEvent{Kind: EventLevel, Root: 42, Level: 0, Direction: "topdown", FrontierVertices: 1})
+	o.Progress.Publish(LiveEvent{Kind: EventRunDone, Root: 42, Visited: 100, GTEPS: 0.5})
+
+	f = next()
+	if f.event != EventLevel || f.ev.Direction != "topdown" || f.ev.FrontierVertices != 1 {
+		t.Fatalf("level frame = %+v", f)
+	}
+	f = next()
+	if f.event != EventRunDone || f.ev.Visited != 100 || f.ev.Seq != 3 {
+		t.Fatalf("run-done frame = %+v", f)
+	}
+}
+
+// TestServeLifecycle checks the background Serve/Close path used by the
+// CLIs' -serve flag.
+func TestServeLifecycle(t *testing.T) {
+	o := New()
+	s, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET on live server: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -1,0 +1,169 @@
+package trend
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"swbfs/internal/core"
+	"swbfs/internal/graph500"
+	"swbfs/internal/obs"
+	"swbfs/internal/perf"
+)
+
+// ScenarioSpec is one configuration of the standard sweep.
+type ScenarioSpec struct {
+	Name      string
+	Scale     int
+	Nodes     int
+	SuperSize int
+	Roots     int
+	Transport core.Transport
+	Engine    perf.Engine
+}
+
+// DefaultScenarios is the standard sweep: the paper's flagship transport
+// (relay + CPE), its two ablations (MPE engine, direct transport), and a
+// wider machine to exercise inter-super-node traffic. Scales are kept
+// small enough that the whole sweep runs in seconds, with validation on.
+func DefaultScenarios() []ScenarioSpec {
+	return []ScenarioSpec{
+		{Name: "relay-cpe-s14-n16", Scale: 14, Nodes: 16, SuperSize: 4, Roots: 8,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE},
+		{Name: "relay-mpe-s12-n16", Scale: 12, Nodes: 16, SuperSize: 4, Roots: 4,
+			Transport: core.TransportRelay, Engine: perf.EngineMPE},
+		{Name: "direct-cpe-s12-n16", Scale: 12, Nodes: 16, SuperSize: 4, Roots: 4,
+			Transport: core.TransportDirect, Engine: perf.EngineCPE},
+		{Name: "relay-cpe-s12-n64", Scale: 12, Nodes: 64, SuperSize: 8, Roots: 4,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE},
+	}
+}
+
+// Options parameterizes Collect.
+type Options struct {
+	// Seed drives every scenario (default 1). The modelled numbers are a
+	// pure function of (seed, scenario), so snapshots taken at different
+	// commits with the same seed are directly comparable.
+	Seed int64
+	// Scenarios overrides DefaultScenarios.
+	Scenarios []ScenarioSpec
+	// GitDir is where to resolve HEAD for provenance ("" = ".").
+	GitDir string
+}
+
+// Collect runs the sweep and assembles a snapshot.
+func Collect(opts Options) (*Snapshot, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	scenarios := opts.Scenarios
+	if scenarios == nil {
+		scenarios = DefaultScenarios()
+	}
+	start := time.Now()
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		GitSHA:        gitSHA(opts.GitDir),
+		GoVersion:     runtime.Version(),
+	}
+	for _, spec := range scenarios {
+		sc, err := runScenario(spec, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("trend: scenario %s: %w", spec.Name, err)
+		}
+		snap.Scenarios = append(snap.Scenarios, sc)
+	}
+	snap.HostSeconds = time.Since(start).Seconds()
+	return snap, nil
+}
+
+// runScenario executes one configuration with a fresh observer so its
+// counters are not polluted by the other scenarios.
+func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
+	observer := obs.New()
+	machine := core.Config{
+		Nodes:              spec.Nodes,
+		SuperNodeSize:      spec.SuperSize,
+		Transport:          spec.Transport,
+		Engine:             spec.Engine,
+		DirectionOptimized: true,
+		HubPrefetch:        true,
+		SmallMessageMPE:    true,
+		Obs:                observer,
+	}
+	hostStart := time.Now()
+	report, err := graph500.Run(graph500.BenchConfig{
+		Scale:      spec.Scale,
+		EdgeFactor: 16,
+		Seed:       seed,
+		Roots:      spec.Roots,
+		Machine:    machine,
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+
+	snap := observer.Metrics.Snapshot()
+	counter := func(name string) int64 { return snap.Counters[name] }
+	var messages int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "comm.messages.") {
+			messages += v
+		}
+	}
+	sc := Scenario{
+		Name:      spec.Name,
+		Scale:     spec.Scale,
+		Nodes:     spec.Nodes,
+		SuperSize: spec.SuperSize,
+		Roots:     spec.Roots,
+		Transport: spec.Transport.String(),
+		Engine:    spec.Engine.String(),
+
+		GTEPS:         report.GTEPSHarmonicMean(),
+		KernelSeconds: report.KernelTime.Mean,
+
+		NetworkBytes:    counter("comm.network.bytes"),
+		NetworkMessages: messages,
+		RelayPairBytes:  counter("comm.relay.pair_bytes"),
+		MaxConnections:  snap.Gauges["comm.connections.max"],
+
+		HostSeconds: time.Since(hostStart).Seconds(),
+	}
+	if runs := counter("bfs.runs"); runs > 0 {
+		sc.Levels = float64(counter("bfs.levels")) / float64(runs)
+		sc.BottomUpLevels = float64(counter("bfs.levels.bottomup")) / float64(runs)
+	}
+	if messages > 0 {
+		sc.AvgMessageBytes = float64(sc.NetworkBytes) / float64(messages)
+	}
+	if traces := observer.Trace.Runs(); len(traces) > 0 {
+		for _, lv := range traces[0].Levels {
+			sc.PerLevel = append(sc.PerLevel, LevelTiming{
+				Level:            lv.Level,
+				Direction:        lv.Direction,
+				WallMicros:       lv.WallSeconds * 1e6,
+				NetworkBytes:     lv.NetworkBytes,
+				FrontierVertices: lv.FrontierVertices,
+			})
+		}
+	}
+	return sc, nil
+}
+
+// gitSHA resolves HEAD best-effort; provenance only, never fatal.
+func gitSHA(dir string) string {
+	if dir == "" {
+		dir = "."
+	}
+	cmd := exec.Command("git", "rev-parse", "--short=12", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,268 @@
+// Package trend records the repository's performance trajectory. Each
+// snapshot is one run of the standard benchmark sweep, serialized as a
+// schema-versioned BENCH_<n>.json file in the repository root; comparing
+// two snapshots prints a per-metric delta table and flags GTEPS
+// regressions beyond a threshold — the gate `make bench-diff` applies.
+package trend
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// SchemaVersion is bumped whenever the snapshot layout changes
+// incompatibly; readers reject files from a different major schema.
+const SchemaVersion = 1
+
+// DefaultThreshold is the relative GTEPS drop that counts as a
+// regression (5%). The modelled GTEPS is deterministic for a given seed,
+// so small drift means a real model/engine change, not noise.
+const DefaultThreshold = 0.05
+
+// Snapshot is one BENCH_<n>.json file: the sweep results plus enough
+// provenance to interpret them later.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedUnix   int64  `json:"created_unix"`
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	// HostSeconds is the real wall time of the whole sweep — the only
+	// host-dependent number in the file, kept for tracking simulator
+	// (not modelled-machine) performance.
+	HostSeconds float64    `json:"host_seconds"`
+	Scenarios   []Scenario `json:"scenarios"`
+}
+
+// Scenario is one benchmark configuration's results.
+type Scenario struct {
+	Name      string `json:"name"`
+	Scale     int    `json:"scale"`
+	Nodes     int    `json:"nodes"`
+	SuperSize int    `json:"super_size"`
+	Roots     int    `json:"roots"`
+	Transport string `json:"transport"`
+	Engine    string `json:"engine"`
+
+	// Headline results (modelled machine; deterministic per seed).
+	GTEPS          float64 `json:"gteps_harmonic_mean"`
+	KernelSeconds  float64 `json:"kernel_seconds_mean"`
+	Levels         float64 `json:"levels_mean"`
+	BottomUpLevels float64 `json:"bottomup_levels_mean"`
+
+	// Traffic and transport health.
+	NetworkBytes    int64   `json:"network_bytes"`
+	NetworkMessages int64   `json:"network_messages"`
+	AvgMessageBytes float64 `json:"avg_message_bytes"`
+	RelayPairBytes  int64   `json:"relay_pair_bytes"`
+	MaxConnections  int64   `json:"max_connections"`
+
+	// HostSeconds is this scenario's real wall time.
+	HostSeconds float64 `json:"host_seconds"`
+
+	// PerLevel is the representative (first) root's per-level timeline.
+	PerLevel []LevelTiming `json:"per_level"`
+}
+
+// LevelTiming is one level of the representative root.
+type LevelTiming struct {
+	Level            int     `json:"level"`
+	Direction        string  `json:"direction"`
+	WallMicros       float64 `json:"wall_us"`
+	NetworkBytes     int64   `json:"network_bytes"`
+	FrontierVertices int64   `json:"frontier_vertices"`
+}
+
+// WriteSnapshot writes the snapshot as indented JSON.
+func WriteSnapshot(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return fmt.Errorf("trend: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadSnapshot parses a BENCH_<n>.json file, rejecting unknown schema
+// versions.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	defer f.Close()
+	var s Snapshot
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trend: parsing %s: %w", path, err)
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("trend: %s has schema version %d, this tool reads %d",
+			path, s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// SnapshotPaths returns the directory's BENCH_<n>.json files sorted by n.
+func SnapshotPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// NextSnapshotPath returns the path of the next snapshot in sequence
+// (BENCH_0.json when the directory has none).
+func NextSnapshotPath(dir string) (string, error) {
+	paths := make(map[int]bool)
+	existing, err := SnapshotPaths(dir)
+	if err != nil {
+		return "", err
+	}
+	max := -1
+	for _, p := range existing {
+		m := benchFileRe.FindStringSubmatch(filepath.Base(p))
+		n, _ := strconv.Atoi(m[1])
+		paths[n] = true
+		if n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// Delta is one metric's movement between two snapshots of a scenario.
+type Delta struct {
+	Scenario string
+	Metric   string
+	Old, New float64
+	// Pct is the relative change in percent ((new-old)/old); 0 when the
+	// old value is 0.
+	Pct float64
+	// HigherIsBetter orients the regression reading of this metric.
+	HigherIsBetter bool
+}
+
+// CompareReport is the outcome of comparing two snapshots.
+type CompareReport struct {
+	Threshold float64
+	Rows      []Delta
+	// Regressions lists human-readable GTEPS regressions beyond the
+	// threshold; non-empty means the gate fails.
+	Regressions []string
+	// Missing lists scenarios present in only one snapshot.
+	Missing []string
+}
+
+// Regressed reports whether the gate should fail.
+func (r *CompareReport) Regressed() bool { return len(r.Regressions) > 0 }
+
+// Compare matches scenarios by name and builds the per-metric delta
+// table. Only a GTEPS drop beyond threshold (relative) counts as a
+// regression — the other metrics are context for diagnosing it.
+func Compare(old, new_ *Snapshot, threshold float64) *CompareReport {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := &CompareReport{Threshold: threshold}
+	oldByName := make(map[string]Scenario, len(old.Scenarios))
+	for _, s := range old.Scenarios {
+		oldByName[s.Name] = s
+	}
+	seen := make(map[string]bool)
+	for _, ns := range new_.Scenarios {
+		seen[ns.Name] = true
+		os_, ok := oldByName[ns.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, ns.Name+" (new only)")
+			continue
+		}
+		add := func(metric string, ov, nv float64, higherBetter bool) {
+			d := Delta{Scenario: ns.Name, Metric: metric, Old: ov, New: nv, HigherIsBetter: higherBetter}
+			if ov != 0 {
+				d.Pct = (nv - ov) / ov * 100
+			}
+			rep.Rows = append(rep.Rows, d)
+		}
+		add("gteps_harmonic_mean", os_.GTEPS, ns.GTEPS, true)
+		add("kernel_seconds_mean", os_.KernelSeconds, ns.KernelSeconds, false)
+		add("network_bytes", float64(os_.NetworkBytes), float64(ns.NetworkBytes), false)
+		add("avg_message_bytes", os_.AvgMessageBytes, ns.AvgMessageBytes, true)
+		add("max_connections", float64(os_.MaxConnections), float64(ns.MaxConnections), false)
+		add("levels_mean", os_.Levels, ns.Levels, false)
+
+		if os_.GTEPS > 0 && ns.GTEPS < os_.GTEPS*(1-threshold) {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s: GTEPS %.4f -> %.4f (%.1f%%, threshold -%.0f%%)",
+					ns.Name, os_.GTEPS, ns.GTEPS, (ns.GTEPS-os_.GTEPS)/os_.GTEPS*100, threshold*100))
+		}
+	}
+	for _, os_ := range old.Scenarios {
+		if !seen[os_.Name] {
+			rep.Missing = append(rep.Missing, os_.Name+" (old only)")
+		}
+	}
+	return rep
+}
+
+// Write renders the delta table and the verdict.
+func (r *CompareReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %-22s %14s %14s %8s\n", "scenario", "metric", "old", "new", "delta")
+	for _, d := range r.Rows {
+		marker := ""
+		if d.Pct != 0 {
+			worse := d.Pct < 0 == d.HigherIsBetter
+			if worse {
+				marker = " (worse)"
+			} else {
+				marker = " (better)"
+			}
+		}
+		fmt.Fprintf(w, "%-22s %-22s %14.4f %14.4f %+7.1f%%%s\n",
+			d.Scenario, d.Metric, d.Old, d.New, d.Pct, marker)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(w, "unmatched scenario: %s\n", m)
+	}
+	if r.Regressed() {
+		fmt.Fprintf(w, "\nREGRESSION (GTEPS drop beyond %.0f%%):\n", r.Threshold*100)
+		for _, reg := range r.Regressions {
+			fmt.Fprintf(w, "  %s\n", reg)
+		}
+	} else {
+		fmt.Fprintf(w, "\nok: no GTEPS regression beyond %.0f%%\n", r.Threshold*100)
+	}
+}

@@ -1,0 +1,191 @@
+package trend
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swbfs/internal/core"
+	"swbfs/internal/perf"
+)
+
+func twoScenarioSnapshot(gteps1, gteps2 float64) *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        "abc",
+		Scenarios: []Scenario{
+			{Name: "a", GTEPS: gteps1, KernelSeconds: 0.01, NetworkBytes: 1000, AvgMessageBytes: 100, MaxConnections: 6, Levels: 6},
+			{Name: "b", GTEPS: gteps2, KernelSeconds: 0.02, NetworkBytes: 2000, AvgMessageBytes: 50, MaxConnections: 15, Levels: 7},
+		},
+	}
+}
+
+// TestCompareRegressionGate is the acceptance check: an injected >=10%
+// GTEPS drop must trip the gate, small drift must not.
+func TestCompareRegressionGate(t *testing.T) {
+	base := twoScenarioSnapshot(1.0, 0.5)
+
+	regressed := twoScenarioSnapshot(0.9, 0.5) // scenario a: -10%
+	rep := Compare(base, regressed, DefaultThreshold)
+	if !rep.Regressed() {
+		t.Fatal("10% GTEPS drop did not trip the 5% gate")
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "a:") {
+		t.Errorf("regressions = %v, want exactly scenario a", rep.Regressions)
+	}
+
+	drift := twoScenarioSnapshot(0.97, 0.51) // -3%: within threshold
+	if rep := Compare(base, drift, DefaultThreshold); rep.Regressed() {
+		t.Errorf("3%% drift tripped the gate: %v", rep.Regressions)
+	}
+
+	improved := twoScenarioSnapshot(1.5, 0.8)
+	if rep := Compare(base, improved, DefaultThreshold); rep.Regressed() {
+		t.Errorf("improvement tripped the gate: %v", rep.Regressions)
+	}
+
+	// The report renders without panicking and mentions both outcomes.
+	var buf bytes.Buffer
+	rep = Compare(base, regressed, DefaultThreshold)
+	rep.Write(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION verdict:\n%s", buf.String())
+	}
+	buf.Reset()
+	Compare(base, drift, DefaultThreshold).Write(&buf)
+	if !strings.Contains(buf.String(), "ok: no GTEPS regression") {
+		t.Errorf("report missing ok verdict:\n%s", buf.String())
+	}
+}
+
+// TestCompareUnmatchedScenarios checks renamed/removed scenarios surface
+// as unmatched rather than silently vanishing from the gate.
+func TestCompareUnmatchedScenarios(t *testing.T) {
+	old := twoScenarioSnapshot(1.0, 0.5)
+	new_ := &Snapshot{SchemaVersion: SchemaVersion, Scenarios: []Scenario{
+		{Name: "a", GTEPS: 1.0},
+		{Name: "c", GTEPS: 2.0},
+	}}
+	rep := Compare(old, new_, 0)
+	if len(rep.Missing) != 2 {
+		t.Errorf("missing = %v, want [c (new only), b (old only)]", rep.Missing)
+	}
+}
+
+// TestSnapshotRoundTripAndNumbering covers the BENCH_<n>.json file
+// lifecycle: sequential numbering, write/read round-trip, and the schema
+// version guard.
+func TestSnapshotRoundTripAndNumbering(t *testing.T) {
+	dir := t.TempDir()
+
+	p0, err := NextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p0) != "BENCH_0.json" {
+		t.Fatalf("first snapshot = %s, want BENCH_0.json", p0)
+	}
+	snap := twoScenarioSnapshot(1.0, 0.5)
+	snap.Scenarios[0].PerLevel = []LevelTiming{{Level: 0, Direction: "topdown", WallMicros: 12.5, NetworkBytes: 64, FrontierVertices: 1}}
+	if err := WriteSnapshot(p0, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := NextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("second snapshot = %s, want BENCH_1.json", p1)
+	}
+	if err := WriteSnapshot(p1, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, err := SnapshotPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "BENCH_0.json" || filepath.Base(paths[1]) != "BENCH_1.json" {
+		t.Fatalf("paths = %v", paths)
+	}
+
+	got, err := ReadSnapshot(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitSHA != "abc" || len(got.Scenarios) != 2 || got.Scenarios[0].PerLevel[0].WallMicros != 12.5 {
+		t.Errorf("round trip mangled snapshot: %+v", got)
+	}
+
+	// Future schema versions must be rejected, not misread.
+	bad := twoScenarioSnapshot(1, 1)
+	bad.SchemaVersion = SchemaVersion + 1
+	badPath := filepath.Join(dir, "BENCH_2.json")
+	if err := WriteSnapshot(badPath, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(badPath); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("schema mismatch not rejected: %v", err)
+	}
+}
+
+// TestCollectTinyScenario runs one real (tiny) sweep scenario end to end
+// and checks every snapshot field is actually populated.
+func TestCollectTinyScenario(t *testing.T) {
+	snap, err := Collect(Options{
+		Seed: 1,
+		Scenarios: []ScenarioSpec{{
+			Name: "tiny", Scale: 10, Nodes: 4, SuperSize: 2, Roots: 2,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE,
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if snap.SchemaVersion != SchemaVersion || len(snap.Scenarios) != 1 {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+	sc := snap.Scenarios[0]
+	if sc.GTEPS <= 0 || sc.KernelSeconds <= 0 {
+		t.Errorf("headline numbers missing: %+v", sc)
+	}
+	if sc.NetworkBytes <= 0 || sc.NetworkMessages <= 0 || sc.AvgMessageBytes <= 0 {
+		t.Errorf("traffic numbers missing: %+v", sc)
+	}
+	if sc.RelayPairBytes <= 0 {
+		t.Errorf("relay transport recorded no relayed pair bytes: %+v", sc)
+	}
+	if sc.MaxConnections <= 0 {
+		t.Errorf("connection high-water mark missing: %+v", sc)
+	}
+	if sc.Levels <= 0 {
+		t.Errorf("mean level count missing: %+v", sc)
+	}
+	if len(sc.PerLevel) == 0 {
+		t.Error("per-level timeline missing")
+	}
+	for _, lv := range sc.PerLevel {
+		if lv.WallMicros <= 0 {
+			t.Errorf("level %d has no wall time", lv.Level)
+		}
+	}
+	if sc.Transport != "relay" || sc.Engine != "CPE" {
+		t.Errorf("config echo wrong: %+v", sc)
+	}
+
+	// Determinism: the same seed must reproduce the modelled numbers
+	// exactly — that is what makes cross-commit comparison meaningful.
+	again, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{{
+		Name: "tiny", Scale: 10, Nodes: 4, SuperSize: 2, Roots: 2,
+		Transport: core.TransportRelay, Engine: perf.EngineCPE,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Scenarios[0].GTEPS != sc.GTEPS || again.Scenarios[0].NetworkBytes != sc.NetworkBytes {
+		t.Errorf("same seed produced different numbers: %v vs %v",
+			sc.GTEPS, again.Scenarios[0].GTEPS)
+	}
+}
