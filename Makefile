@@ -19,8 +19,11 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# The second pass forces multi-core scheduling so the Workers>1 parity
+# tests race the sharded generators and handler fan-out for real.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/...
+	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem .

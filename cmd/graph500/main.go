@@ -51,6 +51,7 @@ func main() {
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the kernel runs to this file")
 		kernel     = flag.String("kernel", "bfs", "benchmark kernel: bfs | sssp (Graph500 v3 second kernel)")
 		delta      = flag.Int64("delta", 0, "sssp kernel: delta-stepping bucket width (0 = Bellman-Ford)")
+		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node, the CPE-cluster stand-in (0 = GOMAXPROCS/nodes, 1 = serial; results are identical for every width)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		DirectionOptimized: !*noOpt,
 		HubPrefetch:        !*noHubs,
 		SmallMessageMPE:    true,
+		Workers:            *workers,
 	}
 	switch *transport {
 	case "direct":

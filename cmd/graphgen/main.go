@@ -33,11 +33,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		format     = flag.String("format", "text", "output format: text | binary")
 		out        = flag.String("out", "-", "output path ('-' for stdout)")
+		shards     = flag.Int("shards", 1, "parallel generator shards; part of the graph identity (1 reproduces the historical serial stream)")
 	)
 	flag.Parse()
 
 	start := time.Now()
-	cfg := graph.KroneckerConfig{Scale: *scale, EdgeFactor: *edgefactor, Seed: *seed}
+	cfg := graph.KroneckerConfig{Scale: *scale, EdgeFactor: *edgefactor, Seed: *seed, Shards: *shards}
 	verbose := *scale >= progressScale
 	if verbose {
 		fmt.Fprintf(os.Stderr, "graphgen: generating %d vertices, %d edges (scale %d)...\n",

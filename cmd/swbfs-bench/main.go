@@ -44,12 +44,14 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve live telemetry on this address during the sweep: /metrics (Prometheus), /traces, /events (SSE), /debug/pprof")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
+		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node (0 = GOMAXPROCS/nodes; results are identical for every width)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 	}
 	cmd := flag.Arg(0)
+	experiments.SetWorkers(*workers)
 
 	var observer *obs.Observer
 	if *metrics || *traceOut != "" || *serveAddr != "" {

@@ -15,6 +15,7 @@ package comm
 
 import (
 	"fmt"
+	"sync"
 
 	"swbfs/internal/graph"
 )
@@ -107,6 +108,32 @@ func (b *Batch) ByteSize() int64 {
 		size += b.Inner[i].ByteSize()
 	}
 	return size
+}
+
+// pairPool recycles the payload slices of delivered batches. The BFS hot
+// loops ship millions of pairs per level; without recycling, every batch
+// is a fresh allocation that dies as soon as the handler scans it.
+var pairPool = sync.Pool{New: func() any { return []Pair(nil) }}
+
+// GetPairs returns a pooled slice of exactly n pairs (contents
+// unspecified; callers overwrite). Ownership convention: the slice placed
+// in Batch.Pairs belongs to the receiver, which may return it with
+// PutPairs once the batch has been consumed.
+func GetPairs(n int) []Pair {
+	p := pairPool.Get().([]Pair)
+	if cap(p) < n {
+		return make([]Pair, n)
+	}
+	return p[:n]
+}
+
+// PutPairs recycles a slice obtained from GetPairs (or any slice the
+// caller is done with). The caller must not touch the slice afterwards.
+func PutPairs(p []Pair) {
+	if cap(p) == 0 {
+		return
+	}
+	pairPool.Put(p[:0])
 }
 
 // EventType classifies what Recv returned.

@@ -6,18 +6,24 @@ import (
 )
 
 // Endpoint is one simulated node's MPI rank. Send-side methods (Send,
-// CloseChannel) and the recv side (Recv) may be driven by different module
-// goroutines, mirroring the paper's dedicated send and receive MPEs (M0 and
-// M1 in Figure 4).
+// SendMany, CloseChannel) and the recv side (Recv) may be driven by
+// different module goroutines, mirroring the paper's dedicated send and
+// receive MPEs (M0 and M1 in Figure 4).
 type Endpoint interface {
 	// Node returns the rank.
 	Node() int
 	// StartLevel opens a BFS level with the given active channels.
 	StartLevel(level int, channels ...Channel)
 	// Send queues pairs for dst on a channel; the transport batches and
-	// flushes by threshold. An error means the simulated machine failed
+	// flushes in quanta. An error means the simulated machine failed
 	// (e.g. MPI connection memory exhaustion).
 	Send(ch Channel, dst int, pairs ...Pair) error
+	// SendMany queues a staged stream: runs[i] says the next runs[i].N
+	// entries of pairs go to runs[i].Dst. It is the bulk path the worker
+	// pools use — one lock acquisition per staged stream instead of one
+	// per edge — and produces exactly the batches the equivalent per-pair
+	// Send calls would, because the flush discipline is chunk-invariant.
+	SendMany(ch Channel, runs []DstRun, pairs []Pair) error
 	// CloseChannel flushes pending sends on the channel and emits the
 	// end-of-channel markers.
 	CloseChannel(ch Channel) error
@@ -28,6 +34,13 @@ type Endpoint interface {
 	Mode() string
 }
 
+// DstRun is one run of a staged send stream: N consecutive pairs bound
+// for the same destination node.
+type DstRun struct {
+	Dst int
+	N   int
+}
+
 func init() {
 	// numChannels is the array bound below; keep them in sync.
 	if numChannels != 2 {
@@ -35,50 +48,71 @@ func init() {
 	}
 }
 
-// sendState is the shared send-side batching state.
+// pairFIFO is a per-destination send buffer: pairs append at the tail and
+// drain from the head in batch quanta. The backing array survives across
+// levels, so steady-state levels allocate nothing on the send side.
+type pairFIFO struct {
+	buf  []Pair
+	head int
+}
+
+func (f *pairFIFO) n() int { return len(f.buf) - f.head }
+
+func (f *pairFIFO) push(ps []Pair) { f.buf = append(f.buf, ps...) }
+
+// peek views the oldest n pairs without consuming them. The view aliases
+// the buffer: copy it out before the next push or advance.
+func (f *pairFIFO) peek(n int) []Pair { return f.buf[f.head : f.head+n] }
+
+// advance consumes the oldest n pairs.
+func (f *pairFIFO) advance(n int) {
+	f.head += n
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 4096 && f.head*2 >= len(f.buf) {
+		// Compact once the dead prefix dominates, keeping pushes amortized
+		// O(1) without unbounded slack.
+		m := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:m]
+		f.head = 0
+	}
+}
+
+// take removes the oldest n pairs into a pooled slice that the receiver
+// of the resulting batch will own (and may recycle with PutPairs).
+func (f *pairFIFO) take(n int) []Pair {
+	out := GetPairs(n)
+	copy(out, f.peek(n))
+	f.advance(n)
+	return out
+}
+
+// sendState is the shared send-side batching state of the direct
+// transport: one FIFO per (channel, destination), drained in quanta of
+// exactly Network.QuantumPairs pairs. Draining by fixed quantum — rather
+// than "flush whatever is buffered once it crosses the threshold" — makes
+// batch boundaries a pure function of the per-destination pair sequence,
+// independent of how senders chunked their Send/SendMany calls. That
+// invariance is what lets the intra-node worker pools promise modelled
+// traffic bit-identical to the serial path.
 type sendState struct {
 	mu    sync.Mutex
-	level int
-	// pending[ch][key] accumulates pairs for a destination (direct) or a
-	// destination group (relay).
-	pending [numChannels]map[int][]Pair
-	bytes   [numChannels]map[int]int64
+	fifos [numChannels][]pairFIFO
 }
 
-func (s *sendState) start(level int) {
+func (s *sendState) start(nodes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.level = level
-	for ch := range s.pending {
-		s.pending[ch] = make(map[int][]Pair)
-		s.bytes[ch] = make(map[int]int64)
+	for ch := range s.fifos {
+		if s.fifos[ch] == nil {
+			s.fifos[ch] = make([]pairFIFO, nodes)
+		}
+		for i := range s.fifos[ch] {
+			s.fifos[ch][i].buf = s.fifos[ch][i].buf[:0]
+			s.fifos[ch][i].head = 0
+		}
 	}
-}
-
-// add buffers pairs under key and reports whether the buffer crossed the
-// threshold; if so it returns the drained pairs for flushing.
-func (s *sendState) add(ch Channel, key int, pairs []Pair, threshold int64) ([]Pair, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pending[ch][key] = append(s.pending[ch][key], pairs...)
-	s.bytes[ch][key] += int64(len(pairs)) * PairBytes
-	if s.bytes[ch][key] < threshold {
-		return nil, false
-	}
-	drained := s.pending[ch][key]
-	delete(s.pending[ch], key)
-	delete(s.bytes[ch], key)
-	return drained, true
-}
-
-// drainAll removes and returns every pending buffer of a channel.
-func (s *sendState) drainAll(ch Channel) map[int][]Pair {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.pending[ch]
-	s.pending[ch] = make(map[int][]Pair)
-	s.bytes[ch] = make(map[int]int64)
-	return out
 }
 
 // DirectEndpoint implements all-pairs messaging: every batch goes straight
@@ -106,7 +140,7 @@ func (e *DirectEndpoint) Mode() string { return "direct" }
 // StartLevel implements Endpoint.
 func (e *DirectEndpoint) StartLevel(level int, channels ...Channel) {
 	e.level = level
-	e.send.start(level)
+	e.send.start(e.net.Nodes())
 	for ch := range e.ends {
 		e.ends[ch] = 0
 		e.open[ch] = false
@@ -121,24 +155,53 @@ func (e *DirectEndpoint) Send(ch Channel, dst int, pairs ...Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	drained, full := e.send.add(ch, dst, pairs, e.net.BatchBytes())
-	if !full {
-		return nil
-	}
-	return e.net.deliver(Batch{
-		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: drained,
-	})
+	return e.SendMany(ch, []DstRun{{Dst: dst, N: len(pairs)}}, pairs)
 }
 
-// CloseChannel implements Endpoint: flush everything, then send one end
-// marker to every node (including self, a free loopback).
+// SendMany implements Endpoint: buffer the staged runs, then ship every
+// completed quantum. Full batches are collected under the lock and
+// delivered outside it, so concurrent senders only contend on the append.
+func (e *DirectEndpoint) SendMany(ch Channel, runs []DstRun, pairs []Pair) error {
+	q := e.net.QuantumPairs()
+	var full []Batch
+	off := 0
+	e.send.mu.Lock()
+	for _, run := range runs {
+		f := &e.send.fifos[ch][run.Dst]
+		f.push(pairs[off : off+run.N])
+		off += run.N
+		for f.n() >= q {
+			full = append(full, Batch{
+				Kind: KindData, Channel: ch, Src: e.node, Dst: run.Dst, Level: e.level, Pairs: f.take(q),
+			})
+		}
+	}
+	e.send.mu.Unlock()
+	for i := range full {
+		if err := e.net.deliver(full[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseChannel implements Endpoint: flush residual buffers in ascending
+// destination order, then send one end marker to every node (including
+// self, a free loopback).
 func (e *DirectEndpoint) CloseChannel(ch Channel) error {
-	for dst, pairs := range e.send.drainAll(ch) {
-		if len(pairs) == 0 {
+	for dst := 0; dst < e.net.Nodes(); dst++ {
+		e.send.mu.Lock()
+		f := &e.send.fifos[ch][dst]
+		var residual []Pair
+		if n := f.n(); n > 0 {
+			residual = f.take(n)
+		}
+		e.send.mu.Unlock()
+		if residual == nil {
 			continue
 		}
 		err := e.net.deliver(Batch{
-			Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
+			Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: residual,
 		})
 		if err != nil {
 			return err

@@ -129,6 +129,15 @@ func (n *Network) Nodes() int { return n.Topo.Nodes }
 // BatchBytes returns the flush threshold.
 func (n *Network) BatchBytes() int64 { return n.batchBytes }
 
+// QuantumPairs returns the batch quantum: the number of pairs whose
+// payload first reaches the flush threshold. Endpoints drain send buffers
+// in multiples of exactly this many pairs, which makes batch boundaries a
+// function of per-destination pair counts alone — independent of how the
+// pairs were chunked across Send/SendMany calls.
+func (n *Network) QuantumPairs() int {
+	return int((n.batchBytes + PairBytes - 1) / PairBytes)
+}
+
 // deliver transmits a batch: establishes the MPI connection (with budget
 // enforcement), records the traffic and enqueues at the destination.
 func (n *Network) deliver(b Batch) error {

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"swbfs/internal/obs"
 )
@@ -65,17 +66,134 @@ func (s GroupShape) Relay(src, dst int) int {
 // from N*M for direct messaging.
 func (s GroupShape) MessagesPerNode() int { return s.N + s.M - 1 }
 
+// groupStage buffers one destination group's outgoing pairs in arrival
+// order. The runs queue remembers the destination of each contiguous run,
+// so the quantum drain can rebuild per-destination inner batches without
+// per-pair bookkeeping; the FIFO holds the pairs themselves.
+type groupStage struct {
+	runs    []DstRun
+	runHead int // index of the oldest unconsumed run
+	runOff  int // pairs of runs[runHead] already consumed
+	fifo    pairFIFO
+	total   int
+}
+
+func (g *groupStage) reset() {
+	g.runs = g.runs[:0]
+	g.runHead, g.runOff = 0, 0
+	g.fifo.buf = g.fifo.buf[:0]
+	g.fifo.head = 0
+	g.total = 0
+}
+
+func (g *groupStage) push(dst int, ps []Pair) {
+	if n := len(g.runs); n > g.runHead && g.runs[n-1].Dst == dst {
+		g.runs[n-1].N += len(ps)
+	} else {
+		g.runs = append(g.runs, DstRun{Dst: dst, N: len(ps)})
+	}
+	g.fifo.push(ps)
+	g.total += len(ps)
+}
+
+// drain consumes the oldest n buffered pairs and groups them into inner
+// batches sorted by destination, preserving each destination's arrival
+// order. Pair slices come from the pool; the eventual consumer (the relay)
+// recycles them.
+func (g *groupStage) drain(n int, src, level int, ch Channel) []Batch {
+	counts := make(map[int]int)
+	rh, ro, left := g.runHead, g.runOff, n
+	for left > 0 {
+		r := g.runs[rh]
+		take := min(r.N-ro, left)
+		counts[r.Dst] += take
+		left -= take
+		ro += take
+		if ro == r.N {
+			rh++
+			ro = 0
+		}
+	}
+	bufs := make(map[int][]Pair, len(counts))
+	for dst, c := range counts {
+		bufs[dst] = GetPairs(c)[:0]
+	}
+	left = n
+	for left > 0 {
+		r := &g.runs[g.runHead]
+		take := min(r.N-g.runOff, left)
+		bufs[r.Dst] = append(bufs[r.Dst], g.fifo.peek(take)...)
+		g.fifo.advance(take)
+		left -= take
+		g.runOff += take
+		if g.runOff == r.N {
+			g.runHead++
+			g.runOff = 0
+		}
+	}
+	g.total -= n
+	if g.runHead == len(g.runs) {
+		g.runs = g.runs[:0]
+		g.runHead = 0
+	} else if g.runHead > 64 && g.runHead*2 >= len(g.runs) {
+		m := copy(g.runs, g.runs[g.runHead:])
+		g.runs = g.runs[:m]
+		g.runHead = 0
+	}
+	dsts := make([]int, 0, len(bufs))
+	for dst := range bufs {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	inner := make([]Batch, 0, len(dsts))
+	for _, dst := range dsts {
+		inner = append(inner, Batch{
+			Kind: KindData, Channel: ch, Src: src, Dst: dst, Level: level, Pairs: bufs[dst],
+		})
+	}
+	return inner
+}
+
+// relaySend is the stage-one staging state: one groupStage per (channel,
+// destination group), guarded by a mutex because generator and handler
+// modules send concurrently.
+type relaySend struct {
+	mu     sync.Mutex
+	groups [numChannels][]groupStage
+}
+
+func (s *relaySend) start(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.groups {
+		if s.groups[ch] == nil {
+			s.groups[ch] = make([]groupStage, n)
+		}
+		for i := range s.groups[ch] {
+			s.groups[ch][i].reset()
+		}
+	}
+}
+
 // RelayEndpoint implements the group-based message batching transport.
 // Stage one: all pairs for a destination group are batched into one
 // envelope and sent to the relay node of that group in the sender's
 // column. Stage two: the relay shuffles envelopes per final destination
 // (the Forward/Backward Relay modules of Figure 10) and forwards batched
 // messages within its group.
+//
+// Both stages drain in fixed quanta (Network.QuantumPairs), so batch
+// counts and wire bytes depend only on per-group / per-destination pair
+// totals — not on how senders chunked their calls or on relay arrival
+// interleaving. The one residual nondeterminism is the per-destination
+// composition of a mid-level stage-one envelope when two modules race on
+// the same channel; BFS never does that (generators and handler replies
+// use different channels), so modelled traffic stays reproducible.
 type RelayEndpoint struct {
 	net   *Network
 	node  int
 	shape GroupShape
-	send  sendState
+	send  relaySend
 
 	level int
 	open  [numChannels]bool
@@ -84,11 +202,11 @@ type RelayEndpoint struct {
 	// node's row.
 	ends [numChannels]int
 
-	// Relay-side state: per-destination buffers for stage two plus the
-	// count of stage-one end markers from the node's column.
-	relayBuf   [numChannels]map[int][]Pair
-	relayBytes [numChannels]map[int]int64
-	relayEnds  [numChannels]int
+	// Relay-side state: per-destination stage-two FIFOs plus the count of
+	// stage-one end markers from the node's column. Only the Recv
+	// goroutine touches these.
+	relayFIFO [numChannels][]pairFIFO
+	relayEnds [numChannels]int
 
 	// relayedBytes counts pair bytes this node shuffled as a relay during
 	// the current level — the input volume of its Forward/Backward Relay
@@ -134,13 +252,18 @@ func (e *RelayEndpoint) Shape() GroupShape { return e.shape }
 // StartLevel implements Endpoint.
 func (e *RelayEndpoint) StartLevel(level int, channels ...Channel) {
 	e.level = level
-	e.send.start(level)
+	e.send.start(e.shape.N)
 	for ch := range e.ends {
 		e.ends[ch] = 0
 		e.relayEnds[ch] = 0
 		e.open[ch] = false
-		e.relayBuf[ch] = make(map[int][]Pair)
-		e.relayBytes[ch] = make(map[int]int64)
+		if e.relayFIFO[ch] == nil {
+			e.relayFIFO[ch] = make([]pairFIFO, e.net.Nodes())
+		}
+		for i := range e.relayFIFO[ch] {
+			e.relayFIFO[ch][i].buf = e.relayFIFO[ch][i].buf[:0]
+			e.relayFIFO[ch][i].head = 0
+		}
 	}
 	for _, ch := range channels {
 		e.open[ch] = true
@@ -149,56 +272,54 @@ func (e *RelayEndpoint) StartLevel(level int, channels ...Channel) {
 }
 
 // Send implements Endpoint: pairs are buffered per destination *group* and
-// shipped to the group's relay when the batch threshold is reached.
+// shipped to the group's relay in batch quanta.
 func (e *RelayEndpoint) Send(ch Channel, dst int, pairs ...Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	// The send buffer key packs (group, dst) so the stage-one envelope can
-	// be split per final destination without re-scanning; the flush
-	// threshold applies to the destination group's total (negative keys
-	// hold per-group byte totals).
-	group := e.shape.Row(dst)
-	key := group*e.net.Nodes() + dst
-	groupKey := -1 - group
-	e.send.mu.Lock()
-	e.send.pending[ch][key] = append(e.send.pending[ch][key], pairs...)
-	e.send.bytes[ch][key] += int64(len(pairs)) * PairBytes
-	e.send.bytes[ch][groupKey] += int64(len(pairs)) * PairBytes
-	flush := e.send.bytes[ch][groupKey] >= e.net.BatchBytes()
-	e.send.mu.Unlock()
-	if !flush {
-		return nil
-	}
-	return e.flushGroup(ch, group)
+	return e.SendMany(ch, []DstRun{{Dst: dst, N: len(pairs)}}, pairs)
 }
 
-// flushGroup ships the stage-one envelope for one destination group.
-func (e *RelayEndpoint) flushGroup(ch Channel, group int) error {
-	e.send.mu.Lock()
-	var inner []Batch
-	for key, pairs := range e.send.pending[ch] {
-		if key < 0 || key/e.net.Nodes() != group || len(pairs) == 0 {
-			continue
-		}
-		dst := key % e.net.Nodes()
-		inner = append(inner, Batch{
-			Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
-		})
-		delete(e.send.pending[ch], key)
-		delete(e.send.bytes[ch], key)
+// SendMany implements Endpoint: buffer the staged runs per destination
+// group and ship an envelope for every completed quantum. Envelopes are
+// assembled under the lock but delivered outside it.
+func (e *RelayEndpoint) SendMany(ch Channel, runs []DstRun, pairs []Pair) error {
+	q := e.net.QuantumPairs()
+	type envelope struct {
+		group int
+		inner []Batch
 	}
-	delete(e.send.bytes[ch], -1-group)
+	var envs []envelope
+	off := 0
+	e.send.mu.Lock()
+	for _, run := range runs {
+		group := e.shape.Row(run.Dst)
+		g := &e.send.groups[ch][group]
+		g.push(run.Dst, pairs[off:off+run.N])
+		off += run.N
+		for g.total >= q {
+			envs = append(envs, envelope{group, g.drain(q, e.node, e.level, ch)})
+		}
+	}
 	e.send.mu.Unlock()
+	for _, env := range envs {
+		if err := e.deliverEnvelope(ch, env.group, env.inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverEnvelope ships one stage-one envelope to the group's relay.
+func (e *RelayEndpoint) deliverEnvelope(ch Channel, group int, inner []Batch) error {
 	if len(inner) == 0 {
 		return nil
 	}
-	sort.Slice(inner, func(i, j int) bool { return inner[i].Dst < inner[j].Dst })
 	relay := e.shape.Relay(e.node, group*e.shape.M)
 	if e.flows != nil {
 		var payload int64
-		for _, in := range inner {
-			payload += int64(len(in.Pairs)) * PairBytes
+		for i := range inner {
+			payload += int64(len(inner[i].Pairs)) * PairBytes
 		}
 		e.flows.Flow(e.level, ch.String(), obs.FlowStageOne, e.node, relay, payload)
 	}
@@ -207,11 +328,19 @@ func (e *RelayEndpoint) flushGroup(ch Channel, group int) error {
 	})
 }
 
-// CloseChannel implements Endpoint: flush every group's envelope, then tell
-// every relay in the node's column that this source is done.
+// CloseChannel implements Endpoint: flush every group's residual envelope
+// in ascending group order, then tell every relay in the node's column
+// that this source is done.
 func (e *RelayEndpoint) CloseChannel(ch Channel) error {
 	for group := 0; group < e.shape.N; group++ {
-		if err := e.flushGroup(ch, group); err != nil {
+		e.send.mu.Lock()
+		g := &e.send.groups[ch][group]
+		var inner []Batch
+		if g.total > 0 {
+			inner = g.drain(g.total, e.node, e.level, ch)
+		}
+		e.send.mu.Unlock()
+		if err := e.deliverEnvelope(ch, group, inner); err != nil {
 			return err
 		}
 	}
@@ -230,7 +359,7 @@ func (e *RelayEndpoint) CloseChannel(ch Channel) error {
 
 // Recv implements Endpoint. Besides delivering this node's own traffic, it
 // executes the node's relay duties: stage-one envelopes are shuffled into
-// per-destination buffers and forwarded in batches (the Relay modules); the
+// per-destination FIFOs and forwarded in quanta (the Relay modules); the
 // final flush happens when every source in the column has signalled done.
 func (e *RelayEndpoint) Recv() Event {
 	for {
@@ -258,16 +387,18 @@ func (e *RelayEndpoint) Recv() Event {
 
 		case KindRelayData:
 			ch := b.Channel
+			q := e.net.QuantumPairs()
 			for _, in := range b.Inner {
 				if e.shape.Row(in.Dst) != e.shape.Row(e.node) {
 					panic(fmt.Sprintf("comm: relay %d got envelope for node %d outside its row", e.node, in.Dst))
 				}
-				e.relayBuf[ch][in.Dst] = append(e.relayBuf[ch][in.Dst], in.Pairs...)
-				e.relayBytes[ch][in.Dst] += int64(len(in.Pairs)) * PairBytes
+				f := &e.relayFIFO[ch][in.Dst]
+				f.push(in.Pairs)
 				e.relayedBytes += int64(len(in.Pairs)) * PairBytes
 				e.totalRelayedBytes += int64(len(in.Pairs)) * PairBytes
-				if e.relayBytes[ch][in.Dst] >= e.net.BatchBytes() {
-					if err := e.relayFlush(ch, in.Dst); err != nil {
+				PutPairs(in.Pairs)
+				for f.n() >= q {
+					if err := e.relayFlush(ch, in.Dst, f.take(q)); err != nil {
 						return Event{Type: EvError, Err: err}
 					}
 				}
@@ -277,19 +408,19 @@ func (e *RelayEndpoint) Recv() Event {
 			ch := b.Channel
 			e.relayEnds[ch]++
 			if e.relayEnds[ch] == e.shape.N {
-				// Every source in this column is done: flush residuals
-				// and mark the channel done for the whole row.
-				dsts := make([]int, 0, len(e.relayBuf[ch]))
-				for dst := range e.relayBuf[ch] {
-					dsts = append(dsts, dst)
-				}
-				sort.Ints(dsts)
-				for _, dst := range dsts {
-					if err := e.relayFlush(ch, dst); err != nil {
-						return Event{Type: EvError, Err: err}
+				// Every source in this column is done: flush residuals in
+				// ascending destination order and mark the channel done for
+				// the whole row.
+				row := e.shape.Row(e.node)
+				for col := 0; col < e.shape.M; col++ {
+					dst := row*e.shape.M + col
+					f := &e.relayFIFO[ch][dst]
+					if n := f.n(); n > 0 {
+						if err := e.relayFlush(ch, dst, f.take(n)); err != nil {
+							return Event{Type: EvError, Err: err}
+						}
 					}
 				}
-				row := e.shape.Row(e.node)
 				for col := 0; col < e.shape.M; col++ {
 					err := e.net.deliver(Batch{
 						Kind: KindEnd, Channel: ch, Src: e.node, Dst: row*e.shape.M + col, Level: e.level,
@@ -306,14 +437,8 @@ func (e *RelayEndpoint) Recv() Event {
 	}
 }
 
-// relayFlush ships one buffered stage-two batch.
-func (e *RelayEndpoint) relayFlush(ch Channel, dst int) error {
-	pairs := e.relayBuf[ch][dst]
-	if len(pairs) == 0 {
-		return nil
-	}
-	delete(e.relayBuf[ch], dst)
-	delete(e.relayBytes[ch], dst)
+// relayFlush ships one stage-two batch.
+func (e *RelayEndpoint) relayFlush(ch Channel, dst int, pairs []Pair) error {
 	if e.flows != nil {
 		e.flows.Flow(e.level, ch.String(), obs.FlowStageTwo, e.node, dst, int64(len(pairs))*PairBytes)
 	}

@@ -99,6 +99,15 @@ type Config struct {
 	// fast path (sub-1KB module inputs handled by the MPE directly).
 	SmallMessageMPE bool
 
+	// Workers is the per-module worker-goroutine count per simulated node
+	// — the host stand-in for the lanes of the CPE cluster each module
+	// owns. 0 derives a default from the host parallelism divided over
+	// the node count; 1 is the serial path; higher values are clamped to
+	// sw.CPEsPerCluster. BFS output (parent-tree validity, per-level
+	// frontier sizes, modelled wire bytes) is bit-identical across worker
+	// counts; only host wall time changes.
+	Workers int
+
 	// BatchBytes and MPIMemoryBudget tune the transport (0 = comm
 	// defaults).
 	BatchBytes      int64
@@ -171,6 +180,10 @@ func (c Config) withDefaults() Config {
 	if c.Beta == 0 {
 		c.Beta = DefaultBeta
 	}
+	if c.Workers == 0 {
+		c.Workers = sw.DefaultWorkers(c.Nodes)
+	}
+	c.Workers = sw.ClampWorkers(c.Workers)
 	return c
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"swbfs/internal/comm"
@@ -28,11 +30,19 @@ type nodeState struct {
 	// curr is the current frontier (local indices, read-only during a
 	// level). next collects handler discoveries; genNext collects the
 	// generator's local hub claims and is merged after the level joins —
-	// the two bitmaps keep each writer single-threaded, the same
-	// contention-free discipline the CPE consumers follow.
-	curr, next, genNext *graph.Bitmap
+	// the two bitmaps keep each writer single-threaded (or word-sharded
+	// across workers), the same contention-free discipline the CPE
+	// consumers follow. visited snapshots the discovered set at level
+	// start (visited |= curr before the level runs); the bottom-up
+	// generator scans its complement so the probe set never depends on
+	// mid-level claim timing.
+	curr, next, genNext, visited *graph.Bitmap
 
 	ep comm.Endpoint
+
+	// workers is the module worker-pool width (Config.Workers resolved):
+	// 1 runs every hot loop serially on the module goroutine.
+	workers int
 
 	// policyReplica is this node's private copy of the direction policy
 	// state machine (node 0 uses the runner's authoritative one); all
@@ -160,34 +170,17 @@ func (ns *nodeState) runLevel(level int, dir Direction) error {
 // forwardGenerator is FORWARD_GENERATOR (Algorithm 2): scan the frontier's
 // adjacency and ship one (u, v) message per edge to v's owner. The hub
 // shortcut skips edges whose endpoint is a hub already known visited — the
-// prefetched bitmap makes that a local test.
+// prefetched bitmap makes that a local test. The scan word-steps the
+// frontier bitmap and fans out across the node's worker pool (stagedFanout
+// keeps the message stream identical to a serial scan).
 func (ns *nodeState) forwardGenerator() error {
 	r := ns.r
-	var failed error
-	ns.curr.ForEach(func(local int64) {
-		if failed != nil {
-			return
-		}
-		u := r.part.Global(ns.id, local)
-		for _, v := range ns.sub.Neighbors(local) {
-			ns.genBytes += comm.PairBytes
-			if r.hubs != nil {
-				if slot, ok := r.hubs.Slot(v); ok && slot < r.hubsTopDown && r.hubVisited.Get(int64(slot)) {
-					continue // hub already discovered: no message needed
-				}
-			}
-			if err := ns.ep.Send(comm.ChanForward, r.part.Owner(v), comm.Pair{u, v}); err != nil {
-				failed = err
-				return
-			}
-		}
-	})
-	if failed != nil {
+	if err := ns.stagedFanout(comm.ChanForward, len(ns.curr.Words()), ns.forwardScan); err != nil {
 		r.net.Abort()
-		return failed
+		return err
 	}
 	if ns.genBytes > 0 {
-		ns.genInvocations++ // one CPE-cluster dispatch for the generator pass
+		ns.genInvocations++ // one CPE-cluster dispatch however many lanes ran
 	}
 	if err := ns.ep.CloseChannel(comm.ChanForward); err != nil {
 		r.net.Abort()
@@ -196,37 +189,50 @@ func (ns *nodeState) forwardGenerator() error {
 	return nil
 }
 
+// forwardScan expands the frontier vertices of curr's words [lo, hi).
+func (ns *nodeState) forwardScan(lo, hi int, stop *atomic.Bool, ws *workerStage, emit emitFn) (*workerStage, error) {
+	r := ns.r
+	words := ns.curr.Words()
+	for wi := lo; wi < hi; wi++ {
+		if stop != nil && stop.Load() {
+			return ws, nil
+		}
+		for w := words[wi]; w != 0; w &= w - 1 {
+			local := int64(wi)<<6 + int64(bits.TrailingZeros64(w))
+			u := r.part.Global(ns.id, local)
+			for _, v := range ns.sub.Neighbors(local) {
+				ws.bytes += comm.PairBytes
+				if r.hubs != nil {
+					if slot, ok := r.hubs.Slot(v); ok && slot < r.hubsTopDown && r.hubVisited.Get(int64(slot)) {
+						continue // hub already discovered: no message needed
+					}
+				}
+				ws.add(r.part.Owner(v), comm.Pair{u, v})
+				if ws.full() {
+					var err error
+					if ws, err = emit(ws); err != nil {
+						return ws, err
+					}
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
 // backwardGenerator is BACKWARD_GENERATOR: every locally unvisited vertex
 // probes its neighbours. Hub neighbours are resolved locally against the
 // prefetched hub frontier (claiming a parent and ending the scan on a hit,
 // skipping the query on a miss); other neighbours trigger a backward query
-// to their owner.
+// to their owner. "Unvisited" means not discovered before the level
+// started (the visited snapshot): a deterministic scan set, where peeking
+// at live parent claims would make the probe traffic depend on message
+// timing.
 func (ns *nodeState) backwardGenerator() error {
 	r := ns.r
-	n := ns.sub.NumVertices()
-	for local := int64(0); local < n; local++ {
-		if ns.parentOf(local) != graph.NoVertex {
-			continue
-		}
-		v := r.part.Global(ns.id, local)
-		for _, u := range ns.sub.Neighbors(local) {
-			ns.genBytes += comm.PairBytes
-			if r.hubs != nil {
-				if slot, ok := r.hubs.Slot(u); ok && slot < r.hubsBottomUp {
-					if r.hubInCurr.Get(int64(slot)) && ns.claim(local, u) {
-						ns.genNext.Set(local)
-					}
-					if r.hubInCurr.Get(int64(slot)) {
-						break // parent found (by us or the handler): stop probing
-					}
-					continue // hub known absent from the frontier: skip the query
-				}
-			}
-			if err := ns.ep.Send(comm.ChanBackward, r.part.Owner(u), comm.Pair{u, v}); err != nil {
-				r.net.Abort()
-				return err
-			}
-		}
+	if err := ns.stagedFanout(comm.ChanBackward, len(ns.visited.Words()), ns.backwardScan); err != nil {
+		r.net.Abort()
+		return err
 	}
 	if ns.genBytes > 0 {
 		ns.genInvocations++
@@ -236,6 +242,50 @@ func (ns *nodeState) backwardGenerator() error {
 		return err
 	}
 	return nil
+}
+
+// backwardScan probes the unvisited vertices of visited's words [lo, hi).
+// genNext writes stay inside the worker's own words, so the sharded scan
+// needs no synchronization beyond the parent CAS.
+func (ns *nodeState) backwardScan(lo, hi int, stop *atomic.Bool, ws *workerStage, emit emitFn) (*workerStage, error) {
+	r := ns.r
+	n := ns.sub.NumVertices()
+	words := ns.visited.Words()
+	for wi := lo; wi < hi; wi++ {
+		if stop != nil && stop.Load() {
+			return ws, nil
+		}
+		w := ^words[wi]
+		if rem := n - int64(wi)<<6; rem < 64 {
+			w &= 1<<uint(rem) - 1 // mask the bits beyond the vertex count
+		}
+		for ; w != 0; w &= w - 1 {
+			local := int64(wi)<<6 + int64(bits.TrailingZeros64(w))
+			v := r.part.Global(ns.id, local)
+			for _, u := range ns.sub.Neighbors(local) {
+				ws.bytes += comm.PairBytes
+				if r.hubs != nil {
+					if slot, ok := r.hubs.Slot(u); ok && slot < r.hubsBottomUp {
+						if r.hubInCurr.Get(int64(slot)) {
+							if ns.claim(local, u) {
+								ns.genNext.Set(local)
+							}
+							break // parent found (by us or the handler): stop probing
+						}
+						continue // hub known absent from the frontier: skip the query
+					}
+				}
+				ws.add(r.part.Owner(u), comm.Pair{u, v})
+				if ws.full() {
+					var err error
+					if ws, err = emit(ws); err != nil {
+						return ws, err
+					}
+				}
+			}
+		}
+	}
+	return ws, nil
 }
 
 // handle runs the handler modules: FORWARD_HANDLER updates the parent map
@@ -267,25 +317,18 @@ func (ns *nodeState) handle(dir Direction) error {
 			} else {
 				ns.hInvocations++
 			}
+			var err error
 			switch ev.Channel {
 			case comm.ChanForward:
-				for _, p := range batch.Pairs {
-					u, v := p[0], p[1]
-					local := r.part.Local(v)
-					if ns.claim(local, u) {
-						ns.next.Set(local)
-					}
-				}
+				ns.handleForward(batch.Pairs)
 			case comm.ChanBackward:
-				for _, p := range batch.Pairs {
-					u, v := p[0], p[1]
-					if ns.curr.Get(r.part.Local(u)) {
-						if err := ns.ep.Send(comm.ChanForward, r.part.Owner(v), comm.Pair{u, v}); err != nil {
-							r.net.Abort()
-							return err
-						}
-					}
-				}
+				err = ns.handleBackward(batch.Pairs)
+			}
+			comm.PutPairs(batch.Pairs)
+			batch.Pairs = nil
+			if err != nil {
+				r.net.Abort()
+				return err
 			}
 
 		case comm.EvChannelClosed:
@@ -307,4 +350,86 @@ func (ns *nodeState) handle(dir Direction) error {
 			}
 		}
 	}
+}
+
+// handleForward applies one batch of discovery messages: claim the parent,
+// mark the vertex for the next frontier. Large batches fan across the
+// worker pool — claims are already CAS, and next-frontier bits switch to
+// the atomic setter because two workers' pairs can land in one word.
+func (ns *nodeState) handleForward(pairs []comm.Pair) {
+	r := ns.r
+	shards := ns.handlerShards(pairs)
+	if shards == nil {
+		for _, p := range pairs {
+			u, v := p[0], p[1]
+			local := r.part.Local(v)
+			if ns.claim(local, u) {
+				ns.next.Set(local)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(ps []comm.Pair) {
+			defer wg.Done()
+			for _, p := range ps {
+				u, v := p[0], p[1]
+				local := r.part.Local(v)
+				if ns.claim(local, u) {
+					ns.next.SetAtomic(local)
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+}
+
+// handleBackward answers one batch of bottom-up probes: each (u, v) pair
+// whose u is in this node's current frontier earns a forward reply to v's
+// owner. Large batches fan across the worker pool with per-worker staging;
+// merging the stages in shard order reproduces the serial reply stream, so
+// the transport's quantum batching sees identical input either way.
+func (ns *nodeState) handleBackward(pairs []comm.Pair) error {
+	r := ns.r
+	shards := ns.handlerShards(pairs)
+	if shards == nil {
+		ws := getStage()
+		defer putStage(ws)
+		for _, p := range pairs {
+			u, v := p[0], p[1]
+			if ns.curr.Get(r.part.Local(u)) {
+				ws.add(r.part.Owner(v), comm.Pair{u, v})
+			}
+		}
+		if len(ws.pairs) == 0 {
+			return nil
+		}
+		return ns.ep.SendMany(comm.ChanForward, ws.runs, ws.pairs)
+	}
+	stages := make([]*workerStage, len(shards))
+	var wg sync.WaitGroup
+	for w, shard := range shards {
+		stages[w] = getStage()
+		wg.Add(1)
+		go func(ws *workerStage, ps []comm.Pair) {
+			defer wg.Done()
+			for _, p := range ps {
+				u, v := p[0], p[1]
+				if ns.curr.Get(r.part.Local(u)) {
+					ws.add(r.part.Owner(v), comm.Pair{u, v})
+				}
+			}
+		}(stages[w], shard)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, ws := range stages {
+		if firstErr == nil && len(ws.pairs) > 0 {
+			firstErr = ns.ep.SendMany(comm.ChanForward, ws.runs, ws.pairs)
+		}
+		putStage(ws)
+	}
+	return firstErr
 }

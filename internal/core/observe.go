@@ -59,6 +59,10 @@ func (r *Runner) buildSpans(res *Result) []obs.ModuleSpan {
 				gen = obs.ModuleBackwardGenerator
 			}
 			names := [4]string{gen, obs.ModuleForwardHandler, obs.ModuleBackwardHandler, obs.ModuleRelay}
+			workers := 0
+			if ns.workers > 1 {
+				workers = ns.workers // attribute pool width only when fanned out
+			}
 			for mi, b := range mw.bytes {
 				if b == 0 {
 					continue
@@ -66,6 +70,7 @@ func (r *Runner) buildSpans(res *Result) []obs.ModuleSpan {
 				spans = append(spans, obs.ModuleSpan{
 					Node: ns.id, Module: names[mi], Level: mw.level,
 					Start: levelStart, Dur: float64(b) / bw, Bytes: b,
+					Workers: workers,
 				})
 			}
 		}
@@ -162,6 +167,7 @@ func (r *Runner) foldMetrics(m *obs.Registry, res *Result) {
 	m.Counter("core.module.invocations").Add(invocations)
 	m.Counter("core.module.small_batches_mpe").Add(smallBatches)
 	m.Counter("comm.relay.pair_bytes").Add(relayed)
+	m.Gauge("core.workers").Set(int64(r.cfg.Workers))
 
 	// Network traffic and connection accounting (comm.* taxonomy).
 	r.net.MetricsInto(m)

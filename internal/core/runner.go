@@ -205,7 +205,9 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 			curr:       graph.NewBitmap(sub.NumVertices()),
 			next:       graph.NewBitmap(sub.NumVertices()),
 			genNext:    graph.NewBitmap(sub.NumVertices()),
+			visited:    graph.NewBitmap(sub.NumVertices()),
 			localEdges: sub.NumEdges(),
+			workers:    r.cfg.Workers,
 		}
 		for i := range ns.parent {
 			ns.parent[i] = int64(graph.NoVertex)
@@ -272,13 +274,18 @@ func (ns *nodeState) runBFS() error {
 			before = r.net.Counters.Snapshot()
 		}
 
+		// Fold the arriving frontier into the visited snapshot before any
+		// module work: the bottom-up generator scans its complement, so
+		// the probe set is fixed at level start.
+		ns.visited.Or(ns.curr)
+
 		// Global frontier statistics (three allreduces: the runtime
 		// statistics TRAVERSAL_POLICY consumes).
 		var nfLocal, mfLocal int64
-		ns.curr.ForEach(func(local int64) {
+		for local := ns.curr.NextSet(0); local >= 0; local = ns.curr.NextSet(local + 1) {
 			nfLocal++
 			mfLocal += ns.sub.Degree(local)
-		})
+		}
 		ns.visitedDeg += mfLocal
 		nf := r.net.AllreduceSum(nfLocal)
 		mf := r.net.AllreduceSum(mfLocal)
@@ -408,13 +415,13 @@ func (ns *nodeState) localHubWords() []uint64 {
 	r := ns.r
 	bm := graph.NewBitmap(int64(r.hubsBottomUp))
 	any := false
-	ns.curr.ForEach(func(local int64) {
+	for local := ns.curr.NextSet(0); local >= 0; local = ns.curr.NextSet(local + 1) {
 		v := r.part.Global(ns.id, local)
 		if slot, ok := r.hubs.Slot(v); ok {
 			bm.Set(int64(slot))
 			any = true
 		}
-	})
+	}
 	if !any {
 		return nil
 	}

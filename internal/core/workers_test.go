@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"swbfs/internal/graph"
+	"swbfs/internal/perf"
+)
+
+// runWorkers executes one BFS with the given worker count and validates
+// the parent tree against the reference levels.
+func runWorkers(t *testing.T, cfg Config, g *graph.CSR, root graph.Vertex) *Result {
+	t.Helper()
+	r, err := NewRunner(cfg, g)
+	if err != nil {
+		t.Fatalf("NewRunner(workers=%d): %v", cfg.Workers, err)
+	}
+	res, err := r.Run(root)
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", cfg.Workers, err)
+	}
+	checkBFSTree(t, g, root, res.Parent)
+	return res
+}
+
+// TestWorkersParallelMatchesSerial is the bit-identity contract of the
+// worker pools: a Workers>1 run must produce exactly the per-level
+// statistics of the Workers=1 run — frontier sizes, modelled wire traffic,
+// critical-path maxima, module invocations — and therefore the same
+// modelled GTEPS. Run under -race this also exercises the sharded
+// generator scans, CAS claims and handler fan-out for data races.
+func TestWorkersParallelMatchesSerial(t *testing.T) {
+	g := kron(t, 10, 42)
+	base := []Config{
+		{ // the paper's production configuration
+			Nodes: 8, Transport: TransportRelay, Engine: perf.EngineCPE,
+			DirectionOptimized: true, HubPrefetch: true, SmallMessageMPE: true,
+		},
+		{ // direct transport, no hubs: a different batching/termination shape
+			Nodes: 8, Transport: TransportDirect, Engine: perf.EngineMPE,
+			DirectionOptimized: true, SmallMessageMPE: true,
+		},
+	}
+	const root = graph.Vertex(1)
+	for _, cfg := range base {
+		cfg.Workers = 1
+		serial := runWorkers(t, cfg, g, root)
+		cfg.Workers = 4
+		parallel := runWorkers(t, cfg, g, root)
+
+		name := cfg.Name()
+		if serial.BottomUpLevels == 0 || serial.BottomUpLevels == len(serial.Levels) {
+			t.Errorf("%s: want a mix of directions, got %d bottom-up of %d levels",
+				name, serial.BottomUpLevels, len(serial.Levels))
+		}
+		if len(serial.Levels) != len(parallel.Levels) {
+			t.Fatalf("%s: level count %d (serial) vs %d (parallel)",
+				name, len(serial.Levels), len(parallel.Levels))
+		}
+		for i := range serial.Levels {
+			if !reflect.DeepEqual(serial.Levels[i], parallel.Levels[i]) {
+				t.Errorf("%s level %d diverges:\nserial:   %+v\nparallel: %+v",
+					name, i, serial.Levels[i], parallel.Levels[i])
+			}
+		}
+		if serial.Visited != parallel.Visited || serial.TraversedEdges != parallel.TraversedEdges {
+			t.Errorf("%s: visited/edges %d/%d (serial) vs %d/%d (parallel)", name,
+				serial.Visited, serial.TraversedEdges, parallel.Visited, parallel.TraversedEdges)
+		}
+		if serial.Time != parallel.Time || serial.GTEPS != parallel.GTEPS {
+			t.Errorf("%s: modelled time/GTEPS %v/%v (serial) vs %v/%v (parallel)", name,
+				serial.Time, serial.GTEPS, parallel.Time, parallel.GTEPS)
+		}
+		if serial.MaxConnections != parallel.MaxConnections {
+			t.Errorf("%s: max connections %d (serial) vs %d (parallel)",
+				name, serial.MaxConnections, parallel.MaxConnections)
+		}
+		if serial.BottomUpLevels != parallel.BottomUpLevels {
+			t.Errorf("%s: bottom-up levels %d (serial) vs %d (parallel)",
+				name, serial.BottomUpLevels, parallel.BottomUpLevels)
+		}
+	}
+}
+
+// TestWorkersRepeatedRunsIdentical guards the determinism the parity test
+// relies on: two parallel runs of the same configuration must agree with
+// each other too (scheduling must not leak into the statistics).
+func TestWorkersRepeatedRunsIdentical(t *testing.T) {
+	g := kron(t, 9, 7)
+	cfg := Config{
+		Nodes: 4, Transport: TransportRelay, Engine: perf.EngineCPE,
+		DirectionOptimized: true, HubPrefetch: true, SmallMessageMPE: true,
+		Workers: 4,
+	}
+	a := runWorkers(t, cfg, g, 3)
+	b := runWorkers(t, cfg, g, 3)
+	if !reflect.DeepEqual(a.Levels, b.Levels) {
+		t.Error("two parallel runs produced different level statistics")
+	}
+	if a.GTEPS != b.GTEPS || a.Visited != b.Visited {
+		t.Errorf("run results differ: GTEPS %v vs %v, visited %d vs %d",
+			a.GTEPS, b.GTEPS, a.Visited, b.Visited)
+	}
+}

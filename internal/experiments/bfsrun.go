@@ -20,6 +20,15 @@ var sharedObserver *obs.Observer
 // running measurements.
 func SetObserver(o *obs.Observer) { sharedObserver = o }
 
+// sharedWorkers is the per-node worker-pool width of all functional
+// measurements (0 = core's default). Every modelled number is
+// bit-identical across widths, so sweeps stay comparable either way.
+var sharedWorkers int
+
+// SetWorkers fixes the worker-pool width of all subsequent
+// measurements. Not safe to call concurrently with running measurements.
+func SetWorkers(k int) { sharedWorkers = k }
+
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
 // (oversubscribed) network level.
@@ -71,6 +80,7 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		DirectionOptimized: true,
 		HubPrefetch:        true,
 		SmallMessageMPE:    true,
+		Workers:            sharedWorkers,
 		Obs:                sharedObserver,
 	}
 

@@ -85,6 +85,7 @@ func StrongScaling(opts StrongOptions) *Table {
 			DirectionOptimized: true,
 			HubPrefetch:        true,
 			SmallMessageMPE:    true,
+			Workers:            sharedWorkers,
 		}
 		runner, err := core.NewRunner(cfg, g)
 		if err != nil {

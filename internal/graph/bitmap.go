@@ -1,11 +1,15 @@
 package graph
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Bitmap is a fixed-size bit set used for BFS frontiers and hub-frontier
-// compression ("a bitmap is used for compressing the frontiers", §5). It is
-// not safe for concurrent mutation; the BFS engine confines each bitmap to a
-// single simulated core, mirroring the paper's contention-free design.
+// compression ("a bitmap is used for compressing the frontiers", §5). Plain
+// mutators are not safe for concurrent use; the BFS engine either confines
+// a bitmap to a single simulated core (mirroring the paper's contention-
+// free design) or uses SetAtomic when handler workers race on discovery.
 type Bitmap struct {
 	bits []uint64
 	n    int64
@@ -21,6 +25,20 @@ func (b *Bitmap) Len() int64 { return b.n }
 
 // Set sets bit i.
 func (b *Bitmap) Set(i int64) { b.bits[i>>6] |= 1 << uint(i&63) }
+
+// SetAtomic sets bit i with a CAS loop, safe against concurrent SetAtomic
+// calls on the same word. Readers still need external synchronization (a
+// barrier) before trusting the result.
+func (b *Bitmap) SetAtomic(i int64) {
+	w := &b.bits[i>>6]
+	mask := uint64(1) << uint(i&63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
 
 // Clear clears bit i.
 func (b *Bitmap) Clear(i int64) { b.bits[i>>6] &^= 1 << uint(i&63) }
@@ -88,6 +106,32 @@ func (b *Bitmap) ForEach(fn func(i int64)) {
 			w &= w - 1
 		}
 	}
+}
+
+// NextSet returns the position of the first set bit at or after from, or
+// -1 when no bit remains. It word-scans with TrailingZeros64, so sparse
+// iteration costs one branch per 64 positions instead of one closure call
+// per bit:
+//
+//	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) { ... }
+func (b *Bitmap) NextSet(from int64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if from >= b.n {
+		return -1
+	}
+	wi := int(from >> 6)
+	w := b.bits[wi] >> uint(from&63)
+	if w != 0 {
+		return from + int64(bits.TrailingZeros64(w))
+	}
+	for wi++; wi < len(b.bits); wi++ {
+		if b.bits[wi] != 0 {
+			return int64(wi)*64 + int64(bits.TrailingZeros64(b.bits[wi]))
+		}
+	}
+	return -1
 }
 
 // ByteSize returns the serialized size in bytes, used by the comm layer's

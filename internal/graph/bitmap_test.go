@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -121,6 +122,80 @@ func TestBitmapForEachProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBitmapNextSet(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int64{3, 64, 65, 127, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int64
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet order: got %v, want %v", got, want)
+		}
+	}
+	if b.NextSet(200) != -1 || b.NextSet(-5) != 3 {
+		t.Fatal("NextSet boundary handling wrong")
+	}
+	if NewBitmap(100).NextSet(0) != -1 {
+		t.Fatal("NextSet on empty bitmap should be -1")
+	}
+}
+
+// Property: the NextSet loop visits exactly what ForEach visits.
+func TestBitmapNextSetMatchesForEach(t *testing.T) {
+	f := func(positions []uint16) bool {
+		b := NewBitmap(1 << 16)
+		for _, p := range positions {
+			b.Set(int64(p))
+		}
+		var viaForEach, viaNextSet []int64
+		b.ForEach(func(i int64) { viaForEach = append(viaForEach, i) })
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			viaNextSet = append(viaNextSet, i)
+		}
+		if len(viaForEach) != len(viaNextSet) {
+			return false
+		}
+		for i := range viaForEach {
+			if viaForEach[i] != viaNextSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapSetAtomicConcurrent(t *testing.T) {
+	const n = 1 << 12
+	b := NewBitmap(n)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Workers overlap deliberately: every bit is set by two of them.
+			for i := int64(w); i < n; i += workers / 2 {
+				b.SetAtomic(i % n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("Count = %d after concurrent SetAtomic, want %d", b.Count(), n)
 	}
 }
 

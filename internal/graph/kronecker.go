@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Graph500 Kronecker generator parameters (the "suggested graph parameter"
@@ -34,6 +35,13 @@ type KroneckerConfig struct {
 	// A, B, C are the R-MAT quadrant probabilities (D is the remainder).
 	// Zero values select the Graph500 defaults.
 	A, B, C float64
+	// Shards splits edge generation across that many goroutines, each with
+	// its own seed stream over a contiguous edge range. 0 or 1 keeps the
+	// historical serial stream. Note the shard count is part of the graph
+	// identity: (Seed, Shards=4) generates a different — equally valid —
+	// edge list than (Seed, Shards=1), so benchmark comparisons must hold
+	// Shards fixed.
+	Shards int
 }
 
 func (c KroneckerConfig) withDefaults() KroneckerConfig {
@@ -85,14 +93,51 @@ func GenerateKronecker(cfg KroneckerConfig) ([]Edge, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := cfg.NumEdges()
 	edges := make([]Edge, m)
 
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if int64(shards) > m {
+		shards = int(m)
+	}
+	if shards == 1 {
+		fillKronecker(edges, cfg, rand.NewSource(cfg.Seed))
+	} else {
+		// Each shard owns a contiguous edge range and a seed derived by
+		// mixing the shard index into the base seed, so shard streams are
+		// independent and the output depends only on (Seed, Shards) — not
+		// on scheduling.
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			lo := m * int64(s) / int64(shards)
+			hi := m * int64(s+1) / int64(shards)
+			wg.Add(1)
+			go func(span []Edge, seed int64) {
+				defer wg.Done()
+				fillKronecker(span, cfg, rand.NewSource(seed))
+			}(edges[lo:hi], splitmix64(cfg.Seed, int64(s)))
+		}
+		wg.Wait()
+	}
+
+	perm := vertexPermutation(cfg.NumVertices(), cfg.Seed)
+	for i := range edges {
+		edges[i].From = perm[edges[i].From]
+		edges[i].To = perm[edges[i].To]
+	}
+	return edges, nil
+}
+
+// fillKronecker generates R-MAT edges into the span from one random
+// stream.
+func fillKronecker(span []Edge, cfg KroneckerConfig, src rand.Source) {
+	rng := rand.New(src)
 	ab := cfg.A + cfg.B
 	cNorm := cfg.C / (1 - ab)
-
-	for i := int64(0); i < m; i++ {
+	for i := range span {
 		var u, v int64
 		for bit := 0; bit < cfg.Scale; bit++ {
 			// Choose the quadrant for this bit level. Following the
@@ -113,15 +158,17 @@ func GenerateKronecker(cfg KroneckerConfig) ([]Edge, error) {
 				v |= 1 << uint(bit)
 			}
 		}
-		edges[i] = Edge{From: Vertex(u), To: Vertex(v)}
+		span[i] = Edge{From: Vertex(u), To: Vertex(v)}
 	}
+}
 
-	perm := vertexPermutation(cfg.NumVertices(), cfg.Seed)
-	for i := range edges {
-		edges[i].From = perm[edges[i].From]
-		edges[i].To = perm[edges[i].To]
-	}
-	return edges, nil
+// splitmix64 derives a shard seed from the base seed, using the SplitMix64
+// finalizer so adjacent shard indices land in unrelated stream states.
+func splitmix64(seed, shard int64) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // vertexPermutation returns a deterministic pseudo-random permutation of

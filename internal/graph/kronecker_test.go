@@ -96,6 +96,69 @@ func TestKroneckerPowerLaw(t *testing.T) {
 	}
 }
 
+// TestKroneckerShardsDeterministic pins the sharded generator's contract:
+// the edge list is a pure function of (Seed, Shards), identical across
+// runs regardless of goroutine scheduling, and still a valid power-law
+// stream (same length, in-range endpoints).
+func TestKroneckerShardsDeterministic(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 10, Seed: 42, Shards: 4}
+	a, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := GenerateKronecker(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if int64(len(a)) != cfg.NumEdges() {
+		t.Fatalf("edge count %d, want %d", len(a), cfg.NumEdges())
+	}
+	n := cfg.NumVertices()
+	for _, e := range a {
+		if e.From < 0 || int64(e.From) >= n || e.To < 0 || int64(e.To) >= n {
+			t.Fatalf("edge %v out of range [0, %d)", e, n)
+		}
+	}
+}
+
+// TestKroneckerShardsIdentityIncludesCount documents that the shard count
+// is part of the graph identity (different count, different — equally
+// valid — graph) and that Shards<=1 is exactly the historical stream.
+func TestKroneckerShardsIdentityIncludesCount(t *testing.T) {
+	serial, err := GenerateKronecker(KroneckerConfig{Scale: 9, Seed: 7})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	one, err := GenerateKronecker(KroneckerConfig{Scale: 9, Seed: 7, Shards: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for i := range serial {
+		if serial[i] != one[i] {
+			t.Fatalf("Shards=1 diverges from serial at edge %d", i)
+		}
+	}
+	four, err := GenerateKronecker(KroneckerConfig{Scale: 9, Seed: 7, Shards: 4})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	same := true
+	for i := range serial {
+		if serial[i] != four[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Shards=4 produced the serial stream; shard seeding is broken")
+	}
+}
+
 func TestKroneckerValidation(t *testing.T) {
 	bad := []KroneckerConfig{
 		{Scale: 0},

@@ -48,6 +48,10 @@ type ModuleSpan struct {
 	Start  float64 `json:"start_seconds"`
 	Dur    float64 `json:"duration_seconds"`
 	Bytes  int64   `json:"bytes"`
+	// Workers is the host worker-pool width that executed the module's hot
+	// loop (0 when unattributed or serial): the lanes of the module's CPE
+	// cluster the simulation actually emulated.
+	Workers int `json:"workers,omitempty"`
 }
 
 // FlowStage distinguishes the two hops of the relay transport.
@@ -289,11 +293,15 @@ func WriteChromeTrace(w io.Writer, traces []RunTrace, spans []RunSpans) error {
 				}
 			}
 			index[[3]int{node, track, sp.Level}] = spanPos{rs.Offset + sp.Start, sp.Dur}
+			args := map[string]any{"bytes": sp.Bytes}
+			if sp.Workers > 0 {
+				args["workers"] = sp.Workers
+			}
 			events = append(events, chromeEvent{
 				Name: fmt.Sprintf("%s L%d", sp.Module, sp.Level), Cat: "module", Ph: "X",
 				Ts: (rs.Offset + sp.Start) * 1e6, Dur: sp.Dur * 1e6,
 				Pid: node + 1, Tid: track,
-				Args: map[string]any{"bytes": sp.Bytes},
+				Args: args,
 			})
 		}
 		for _, fl := range rs.Flows {

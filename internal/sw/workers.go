@@ -1,0 +1,39 @@
+package sw
+
+import "runtime"
+
+// Host worker-pool accounting. The BFS engine emulates each module's CPE
+// cluster with a pool of host worker goroutines: K workers stand in for K
+// lanes of the 64-CPE cluster a module owns. Two rules keep the simulated
+// counters meaningful regardless of K:
+//
+//   - A module dispatch counts as ONE cluster invocation however many
+//     lanes execute it, exactly as one athread spawn on the real machine
+//     starts all 64 CPEs; worker count never inflates the invocation
+//     counters the timing model charges FlagNotifyLatency for.
+//   - K never exceeds CPEsPerCluster: a module cannot use more lanes than
+//     its cluster has CPEs.
+
+// ClampWorkers bounds a requested per-module worker count to the lanes one
+// CPE cluster can offer: [1, CPEsPerCluster]. Zero and negative requests
+// mean "serial" and clamp to 1.
+func ClampWorkers(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > CPEsPerCluster {
+		return CPEsPerCluster
+	}
+	return k
+}
+
+// DefaultWorkers derives a per-module worker count for a simulation of
+// `nodes` ranks sharing one host: the host parallelism divided evenly over
+// the simulated nodes, clamped to the cluster lane budget. With more nodes
+// than host cores this is 1 — the serial path.
+func DefaultWorkers(nodes int) int {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return ClampWorkers(runtime.GOMAXPROCS(0) / nodes)
+}

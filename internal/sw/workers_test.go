@@ -1,0 +1,30 @@
+package sw
+
+import "testing"
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {7, 7},
+		{CPEsPerCluster, CPEsPerCluster},
+		{CPEsPerCluster + 1, CPEsPerCluster},
+		{1 << 20, CPEsPerCluster},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.in); got != c.want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultWorkersBounds(t *testing.T) {
+	for _, nodes := range []int{-1, 0, 1, 4, 1 << 16} {
+		k := DefaultWorkers(nodes)
+		if k < 1 || k > CPEsPerCluster {
+			t.Errorf("DefaultWorkers(%d) = %d outside [1, %d]", nodes, k, CPEsPerCluster)
+		}
+	}
+	// More simulated nodes than host cores must fall back to serial.
+	if k := DefaultWorkers(1 << 16); k != 1 {
+		t.Errorf("DefaultWorkers(huge) = %d, want 1", k)
+	}
+}

@@ -223,6 +223,9 @@ func Compare(old, new_ *Snapshot, threshold float64) *CompareReport {
 		add("avg_message_bytes", os_.AvgMessageBytes, ns.AvgMessageBytes, true)
 		add("max_connections", float64(os_.MaxConnections), float64(ns.MaxConnections), false)
 		add("levels_mean", os_.Levels, ns.Levels, false)
+		// Host wall time is context only: it tracks simulator speed on
+		// whatever machine took the snapshot, so it never gates.
+		add("host_seconds", os_.HostSeconds, ns.HostSeconds, false)
 
 		if os_.GTEPS > 0 && ns.GTEPS < os_.GTEPS*(1-threshold) {
 			rep.Regressions = append(rep.Regressions,
