@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-snapshot bench-diff
+.PHONY: build test check fmt vet race bench bench-snapshot bench-diff chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# chaos sweeps the fault-injection harness (20 seeded random plans plus
+# the targeted fault scenarios) under the race detector. See docs/CHAOS.md.
+chaos:
+	$(GO) test -race -run TestChaos -v ./internal/chaos/
+
+# fuzz gives each fuzz target a short budget on top of its committed seed
+# corpus — a smoke pass, not a soak; raise FUZZTIME for a real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeRoundTrip -fuzztime=$(FUZZTIME) ./internal/comm/
+	$(GO) test -run='^$$' -fuzz=FuzzBitmapWordScan -fuzztime=$(FUZZTIME) ./internal/graph/
 
 # bench-snapshot runs the standard sweep and writes the next BENCH_<n>.json
 # in the repo root; bench-diff compares the newest two snapshots and fails

@@ -10,12 +10,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -52,6 +54,11 @@ func main() {
 		kernel     = flag.String("kernel", "bfs", "benchmark kernel: bfs | sssp (Graph500 v3 second kernel)")
 		delta      = flag.Int64("delta", 0, "sssp kernel: delta-stepping bucket width (0 = Bellman-Ford)")
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node, the CPE-cluster stand-in (0 = GOMAXPROCS/nodes, 1 = serial; results are identical for every width)")
+
+		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into the simulated fabric (0 = off; see docs/CHAOS.md)")
+		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan, comma-separated fault specs like kill@2:l1:data/forward:0 (wins over -chaos-seed; see docs/CHAOS.md)")
+		levelTimeout    = flag.Duration("level-timeout", 0, "abort the run if no BFS level completes within this duration (0 = no watchdog)")
+		stragglerFactor = flag.Float64("straggler-factor", 0, "flag nodes whose per-level module host time exceeds this multiple of the fleet mean (0 = off)")
 	)
 	flag.Parse()
 
@@ -82,6 +89,19 @@ func main() {
 
 	if *compress {
 		machine.Codec = comm.VarintDeltaCodec{}
+	}
+	machine.LevelTimeout = *levelTimeout
+	machine.StragglerFactor = *stragglerFactor
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		machine.Chaos = &plan
+	} else if *chaosSeed != 0 {
+		plan := chaos.NewRandomPlan(*chaosSeed, *nodes)
+		machine.Chaos = &plan
+		fmt.Fprintf(os.Stderr, "graph500: chaos plan from seed %d: %s\n", *chaosSeed, plan)
 	}
 	machine.Profile = obs.ProfileConfig{CPUProfile: *cpuprofile, ExecTrace: *exectrace}
 
@@ -156,6 +176,11 @@ func main() {
 
 	report, err := graph500.Run(cfg)
 	if err != nil {
+		var ae *core.AbortError
+		if errors.As(err, &ae) {
+			printAbortReport(ae)
+			os.Exit(1)
+		}
 		fatalf("benchmark failed: %v", err)
 	}
 	if *verbose {
@@ -216,6 +241,19 @@ func emitObservability(observer *obs.Observer, printMetrics bool, traceOut, chro
 		fmt.Fprintf(os.Stderr, "graph500: chrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", chromeOut)
 	}
 	return nil
+}
+
+// printAbortReport renders the partial result of an aborted run: the
+// root cause plus every level that completed before the fabric died, so
+// a chaos-injected failure is still diagnosable from the console.
+func printAbortReport(ae *core.AbortError) {
+	fmt.Fprintf(os.Stderr, "graph500: run from root %d ABORTED: %v\n", ae.Root, ae.Cause)
+	fmt.Fprintf(os.Stderr, "graph500: partial result: %d completed levels\n", len(ae.CompletedLevels))
+	for _, l := range ae.CompletedLevels {
+		fmt.Fprintf(os.Stderr, "    L%-2d %-9s work=%-10d sent=%-10d msgs=%-6d %s\n",
+			l.Level, l.Direction, l.MaxNodeProcessedBytes, l.MaxNodeSentBytes,
+			l.MaxNodeMessages, l.Net.String())
+	}
 }
 
 // holdServer keeps the telemetry server alive after the benchmark so its

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/experiments"
 	"swbfs/internal/obs"
 )
@@ -45,6 +46,11 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node (0 = GOMAXPROCS/nodes; results are identical for every width)")
+
+		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into every functional measurement (0 = off; see docs/CHAOS.md)")
+		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan into every functional measurement (wins over -chaos-seed; see docs/CHAOS.md)")
+		levelTimeout    = flag.Duration("level-timeout", 0, "abort a functional run if no BFS level completes within this duration (0 = no watchdog)")
+		stragglerFactor = flag.Float64("straggler-factor", 0, "flag nodes whose per-level module host time exceeds this multiple of the fleet mean (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +58,17 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	experiments.SetWorkers(*workers)
+	experiments.SetLevelTimeout(*levelTimeout)
+	experiments.SetStragglerFactor(*stragglerFactor)
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		experiments.SetChaos(&plan, 0)
+	} else if *chaosSeed != 0 {
+		experiments.SetChaos(nil, *chaosSeed)
+	}
 
 	var observer *obs.Observer
 	if *metrics || *traceOut != "" || *serveAddr != "" {

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"swbfs/internal/obs"
+)
+
+func TestFaultStringRoundTrip(t *testing.T) {
+	faults := []Fault{
+		{Kind: KindSendFail, Node: 2, Level: 1, WireKind: 0, Channel: 0, Op: 3},
+		{Kind: KindDrop, Node: 0, Level: 0, WireKind: 1, Channel: 1, Op: 0},
+		{Kind: KindDup, Node: 7, Level: 3, WireKind: 2, Channel: 0, Op: 2},
+		{Kind: KindKill, Node: 1, Level: 2, WireKind: 3, Channel: 1, Op: 1},
+		{Kind: KindDelayGenerator, Node: 4, Level: 0, Steps: 5},
+		{Kind: KindDelayHandler, Node: 3, Level: 2, Steps: 1},
+		{Kind: KindDelayRelay, Node: 6, Level: 1, Steps: 8},
+	}
+	for _, f := range faults {
+		got, err := ParseFault(f.String())
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Fatalf("round trip %q: got %+v, want %+v", f.String(), got, f)
+		}
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"sendfail",
+		"nope@2:l1:data/forward:3",
+		"sendfail@-1:l1:data/forward:3",
+		"sendfail@2:1:data/forward:3",   // missing 'l'
+		"sendfail@2:l1:data/forward",    // missing op
+		"sendfail@2:l1:dataforward:3",   // missing '/'
+		"sendfail@2:l1:bogus/forward:3", // unknown wire
+		"sendfail@2:l1:data/sideways:3", // unknown channel
+		"delay-gen@2:l1:0",              // zero steps
+		"delay-gen@2:l1:x",
+	}
+	for _, s := range bad {
+		if _, err := ParseFault(s); err == nil {
+			t.Errorf("ParseFault(%q) accepted", s)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := NewRandomPlan(12345, 8)
+	if len(p.Faults) == 0 {
+		t.Fatal("empty random plan")
+	}
+	got, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(got.Faults, p.Faults) {
+		t.Fatalf("round trip %q: got %+v, want %+v", p.String(), got.Faults, p.Faults)
+	}
+	if _, err := ParsePlan(" , ,"); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+}
+
+func TestNewRandomPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := NewRandomPlan(seed, 8)
+		b := NewRandomPlan(seed, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ: %v vs %v", seed, a, b)
+		}
+		for _, f := range a.Faults {
+			if f.Node < 0 || f.Node >= 8 {
+				t.Fatalf("seed %d: node %d out of range", seed, f.Node)
+			}
+			if f.Kind.IsDelay() && f.Steps <= 0 {
+				t.Fatalf("seed %d: delay with %d steps", seed, f.Steps)
+			}
+		}
+	}
+	if reflect.DeepEqual(NewRandomPlan(1, 8).Faults, NewRandomPlan(2, 8).Faults) &&
+		reflect.DeepEqual(NewRandomPlan(2, 8).Faults, NewRandomPlan(3, 8).Faults) {
+		t.Fatal("three consecutive seeds produced identical plans")
+	}
+}
+
+func TestInjectorOpCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KindDrop, Node: 1, Level: 0, WireKind: 0, Channel: 0, Op: 2},
+	}}, reg)
+
+	// Ops 0 and 1 pass untouched; op 2 fires; op 3 is clean again.
+	for op := 0; op < 4; op++ {
+		f, ok := in.OnDeliver(1, 0, 0, 0)
+		if want := op == 2; ok != want {
+			t.Fatalf("op %d: fired=%v (fault %v)", op, ok, f)
+		}
+	}
+	// A different stream (other node, level, wire or channel) never fires.
+	for _, probe := range [][4]int{{0, 0, 0, 0}, {1, 1, 0, 0}, {1, 0, 1, 0}, {1, 0, 0, 1}} {
+		for op := 0; op < 4; op++ {
+			if _, ok := in.OnDeliver(probe[0], probe[1], uint8(probe[2]), uint8(probe[3])); ok {
+				t.Fatalf("stream %v op %d fired", probe, op)
+			}
+		}
+	}
+	if in.Injections() != 1 {
+		t.Fatalf("injections = %d, want 1", in.Injections())
+	}
+	if v := reg.Counter("chaos.injected").Value(); v != 1 {
+		t.Fatalf("chaos.injected = %d, want 1", v)
+	}
+	if v := reg.Counter("chaos.injected.drop").Value(); v != 1 {
+		t.Fatalf("chaos.injected.drop = %d, want 1", v)
+	}
+}
+
+func TestInjectorKillSticky(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KindKill, Node: 2, Level: 1, WireKind: 0, Channel: 0, Op: 1},
+	}}, nil)
+
+	if _, ok := in.OnDeliver(2, 1, 0, 0); ok {
+		t.Fatal("op 0 fired early")
+	}
+	f, ok := in.OnDeliver(2, 1, 0, 0)
+	if !ok || f.Kind != KindKill {
+		t.Fatalf("op 1: fired=%v fault=%v", ok, f)
+	}
+	// Sticky: every later delivery from node 2, any stream, reports a kill.
+	for _, probe := range [][4]int{{2, 1, 0, 0}, {2, 2, 0, 0}, {2, 5, 1, 1}} {
+		f, ok := in.OnDeliver(probe[0], probe[1], uint8(probe[2]), uint8(probe[3]))
+		if !ok || f.Kind != KindKill {
+			t.Fatalf("post-kill delivery %v: fired=%v fault=%v", probe, ok, f)
+		}
+	}
+	// Other nodes are unaffected, and the kill logs exactly once.
+	if _, ok := in.OnDeliver(3, 1, 0, 0); ok {
+		t.Fatal("node 3 caught node 2's kill")
+	}
+	if in.Injections() != 1 {
+		t.Fatalf("injections = %d, want 1 (kill must not re-log)", in.Injections())
+	}
+}
+
+func TestInjectorDelayConsumed(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KindDelayGenerator, Node: 3, Level: 2, Steps: 7},
+	}}, nil)
+	if d := in.Delay(KindDelayHandler, 3, 2); d != 0 {
+		t.Fatalf("wrong site returned %d steps", d)
+	}
+	if d := in.Delay(KindDelayGenerator, 3, 1); d != 0 {
+		t.Fatalf("wrong level returned %d steps", d)
+	}
+	if d := in.Delay(KindDelayGenerator, 3, 2); d != 7 {
+		t.Fatalf("delay = %d steps, want 7", d)
+	}
+	if d := in.Delay(KindDelayGenerator, 3, 2); d != 0 {
+		t.Fatalf("delay fired twice: %d steps", d)
+	}
+}
+
+func TestInjectorLogSorted(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KindDrop, Node: 3, Level: 1, WireKind: 0, Channel: 0, Op: 0},
+		{Kind: KindDelayGenerator, Node: 1, Level: 0, Steps: 2},
+		{Kind: KindSendFail, Node: 0, Level: 1, WireKind: 0, Channel: 0, Op: 0},
+	}}, nil)
+	// Fire out of order.
+	in.OnDeliver(3, 1, 0, 0)
+	in.OnDeliver(0, 1, 0, 0)
+	in.Delay(KindDelayGenerator, 1, 0)
+
+	log := in.Log()
+	if len(log) != 3 {
+		t.Fatalf("log has %d entries, want 3", len(log))
+	}
+	want := []Fault{
+		{Kind: KindDelayGenerator, Node: 1, Level: 0, Steps: 2},
+		{Kind: KindSendFail, Node: 0, Level: 1, WireKind: 0, Channel: 0, Op: 0},
+		{Kind: KindDrop, Node: 3, Level: 1, WireKind: 0, Channel: 0, Op: 0},
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %+v, want %+v", log, want)
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if _, ok := in.OnDeliver(0, 0, 0, 0); ok {
+		t.Fatal("nil injector fired")
+	}
+	if d := in.Delay(KindDelayGenerator, 0, 0); d != 0 {
+		t.Fatal("nil injector delayed")
+	}
+	if in.Log() != nil || in.Injections() != 0 {
+		t.Fatal("nil injector has a log")
+	}
+}

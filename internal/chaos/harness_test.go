@@ -1,0 +1,388 @@
+// The chaos harness: sweep seeded fault plans through full BFS runs on
+// both transports and assert the recovery contract of docs/CHAOS.md —
+//
+//   - a run that completes despite injected faults produces a parent tree
+//     and LevelStats bit-identical to the fault-free run;
+//   - a run that aborts does so cleanly: an *core.AbortError wrapping the
+//     real cause, no goroutine leaks, no hung inboxes;
+//   - the same plan replayed on the same configuration injects the same
+//     faults (the sorted injection logs match).
+//
+// `make chaos` runs exactly these tests under -race.
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"swbfs/internal/chaos"
+	"swbfs/internal/comm"
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+	"swbfs/internal/obs"
+	"swbfs/internal/perf"
+	"swbfs/internal/testutil"
+)
+
+const (
+	harnessNodes = 8
+	harnessRoot  = graph.Vertex(17)
+	harnessPlans = 20
+)
+
+func harnessGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func harnessConfig(transport core.Transport) core.Config {
+	return core.Config{
+		Nodes:              harnessNodes,
+		SuperNodeSize:      4,
+		Transport:          transport,
+		Engine:             perf.EngineMPE,
+		DirectionOptimized: true,
+		HubPrefetch:        true,
+		SmallMessageMPE:    true,
+		Workers:            2,
+		BatchBytes:         1 << 10,
+		LevelTimeout:       20 * time.Second, // safety net: a hung run fails fast
+	}
+}
+
+// runOnce builds a fresh runner for cfg and executes one rooted BFS.
+func runOnce(t *testing.T, cfg core.Config, g *graph.CSR) (*core.Result, []chaos.Fault, error) {
+	t.Helper()
+	r, err := core.NewRunner(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := r.Run(harnessRoot)
+	return res, r.LastInjections(), runErr
+}
+
+func TestChaosHarness(t *testing.T) {
+	g := harnessGraph(t)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := harnessConfig(transport)
+
+			// Fault-free baseline, run twice: the parent tree itself must be
+			// deterministic (the min-parent rule) or no chaos comparison
+			// could ever hold.
+			base, _, err := runOnce(t, cfg, g)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			again, _, err := runOnce(t, cfg, g)
+			if err != nil {
+				t.Fatalf("baseline rerun: %v", err)
+			}
+			if !reflect.DeepEqual(base.Parent, again.Parent) {
+				t.Fatal("fault-free parent tree is not deterministic")
+			}
+			if !reflect.DeepEqual(base.Levels, again.Levels) {
+				t.Fatal("fault-free LevelStats are not deterministic")
+			}
+
+			completed, aborted := 0, 0
+			for seed := int64(1); seed <= harnessPlans; seed++ {
+				plan := chaos.NewRandomPlan(seed, harnessNodes)
+				ccfg := cfg
+				ccfg.Chaos = &plan
+
+				leak := testutil.CheckGoroutines(t)
+				r, err := core.NewRunner(ccfg, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The same runner replays the plan twice: the injector is
+				// rebuilt per Run, and a runner must stay usable after an
+				// aborted run.
+				res1, err1 := r.Run(harnessRoot)
+				log1 := r.LastInjections()
+				res2, err2 := r.Run(harnessRoot)
+				log2 := r.LastInjections()
+				leak()
+				if t.Failed() {
+					t.Fatalf("seed %d (%s): goroutine leak", seed, plan)
+				}
+
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d (%s): completion not deterministic: %v vs %v",
+						seed, plan, err1, err2)
+				}
+				if err1 != nil {
+					aborted++
+					var ae *core.AbortError
+					if !errors.As(err1, &ae) {
+						t.Fatalf("seed %d (%s): abort is not an AbortError: %v", seed, plan, err1)
+					}
+					var killed *comm.ErrNodeKilled
+					if !errors.As(err1, &killed) {
+						t.Fatalf("seed %d (%s): abort cause is not a kill: %v", seed, plan, err1)
+					}
+					continue
+				}
+				completed++
+				if !reflect.DeepEqual(res1.Parent, base.Parent) {
+					t.Fatalf("seed %d (%s): parent tree differs from fault-free run", seed, plan)
+				}
+				if !reflect.DeepEqual(res1.Levels, base.Levels) {
+					t.Fatalf("seed %d (%s): LevelStats differ from fault-free run:\n%+v\nvs\n%+v",
+						seed, plan, res1.Levels, base.Levels)
+				}
+				if !reflect.DeepEqual(res2.Parent, base.Parent) || !reflect.DeepEqual(res2.Levels, base.Levels) {
+					t.Fatalf("seed %d (%s): second run diverged", seed, plan)
+				}
+				if !reflect.DeepEqual(log1, log2) {
+					t.Fatalf("seed %d (%s): injection logs differ:\n%v\nvs\n%v", seed, plan, log1, log2)
+				}
+			}
+			t.Logf("%s: %d completed, %d aborted of %d plans", transport, completed, aborted, harnessPlans)
+			if completed == 0 {
+				t.Error("no plan completed: the sweep never exercised recovery")
+			}
+			if aborted == 0 {
+				t.Error("no plan aborted: the sweep never exercised teardown")
+			}
+		})
+	}
+}
+
+// TestChaosKillAborts pins the kill semantics: a kill at the root owner's
+// first forward delivery aborts the run with ErrNodeKilled as the cause,
+// leak-free, and the kill appears in the injection log.
+func TestChaosKillAborts(t *testing.T) {
+	g := harnessGraph(t)
+	owner := int(harnessRoot) % harnessNodes // round-robin partition
+	plan, err := chaos.ParsePlan("kill@1:l0:data/forward:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Faults[0].Node != owner {
+		t.Fatalf("plan targets node %d, root owner is %d", plan.Faults[0].Node, owner)
+	}
+	cfg := harnessConfig(core.TransportDirect)
+	cfg.Chaos = &plan
+
+	leak := testutil.CheckGoroutines(t)
+	res, log, err := runOnce(t, cfg, g)
+	leak()
+	if res != nil || err == nil {
+		t.Fatalf("killed run returned (%v, %v)", res, err)
+	}
+	var ae *core.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an AbortError: %v", err)
+	}
+	var killed *comm.ErrNodeKilled
+	if !errors.As(err, &killed) {
+		t.Fatalf("cause is not ErrNodeKilled: %v", err)
+	}
+	if killed.Node != owner || killed.Level != 0 {
+		t.Fatalf("killed node %d at level %d, want node %d level 0", killed.Node, killed.Level, owner)
+	}
+	if len(log) != 1 || log[0].Kind != chaos.KindKill {
+		t.Fatalf("injection log = %v, want exactly the kill", log)
+	}
+}
+
+// TestChaosRetryRecovers: transient send failures and wire drops are
+// retried and the run completes bit-identical to fault-free, with the
+// retries visible in the metrics.
+func TestChaosRetryRecovers(t *testing.T) {
+	g := harnessGraph(t)
+	cfg := harnessConfig(core.TransportDirect)
+	base, _, err := runOnce(t, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := chaos.ParsePlan("sendfail@1:l0:data/forward:0,drop@3:l1:data/forward:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = &plan
+	cfg.Obs = obs.New()
+	res, log, err := runOnce(t, cfg, g)
+	if err != nil {
+		t.Fatalf("faulted run aborted: %v", err)
+	}
+	if !reflect.DeepEqual(res.Parent, base.Parent) || !reflect.DeepEqual(res.Levels, base.Levels) {
+		t.Fatal("recovered run differs from fault-free run")
+	}
+	if len(log) == 0 {
+		t.Fatal("no fault fired")
+	}
+	m := cfg.Obs.Metrics
+	if v := m.Counter("comm.retries").Value(); v < 1 {
+		t.Fatalf("comm.retries = %d, want >= 1", v)
+	}
+	if v := m.Counter("chaos.injected").Value(); int(v) != len(log) {
+		t.Fatalf("chaos.injected = %d, log has %d", v, len(log))
+	}
+}
+
+// TestChaosDupDelivered: a duplicated delivery is discarded by the
+// receiver before any accounting, so the run stays bit-identical.
+func TestChaosDupDelivered(t *testing.T) {
+	g := harnessGraph(t)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := harnessConfig(transport)
+			base, _, err := runOnce(t, cfg, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := "dup@1:l0:data/forward:0"
+			if transport == core.TransportRelay {
+				spec = "dup@1:l0:relay-data/forward:0"
+			}
+			plan, err := chaos.ParsePlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Chaos = &plan
+			cfg.Obs = obs.New()
+			res, log, err := runOnce(t, cfg, g)
+			if err != nil {
+				t.Fatalf("dup run aborted: %v", err)
+			}
+			if len(log) != 1 || log[0].Kind != chaos.KindDup {
+				t.Fatalf("injection log = %v, want the dup", log)
+			}
+			if !reflect.DeepEqual(res.Parent, base.Parent) || !reflect.DeepEqual(res.Levels, base.Levels) {
+				t.Fatal("duplicated delivery perturbed the run")
+			}
+			if v := cfg.Obs.Metrics.Counter("chaos.injected.dup").Value(); v != 1 {
+				t.Fatalf("chaos.injected.dup = %d, want 1", v)
+			}
+		})
+	}
+}
+
+// TestChaosLevelTimeout: a generator stalled past the watchdog deadline
+// aborts the run with ErrLevelTimeout and a partial-result report of the
+// levels that did complete.
+func TestChaosLevelTimeout(t *testing.T) {
+	g := harnessGraph(t)
+	plan, err := chaos.ParsePlan("delay-gen@1:l1:800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harnessConfig(core.TransportDirect)
+	cfg.Chaos = &plan
+	cfg.LevelTimeout = 150 * time.Millisecond
+
+	leak := testutil.CheckGoroutines(t)
+	res, _, err := runOnce(t, cfg, g)
+	leak()
+	if res != nil || err == nil {
+		t.Fatalf("stalled run returned (%v, %v)", res, err)
+	}
+	if !errors.Is(err, core.ErrLevelTimeout) {
+		t.Fatalf("error is not ErrLevelTimeout: %v", err)
+	}
+	var ae *core.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an AbortError: %v", err)
+	}
+	if len(ae.CompletedLevels) != 1 {
+		t.Fatalf("partial report has %d levels, want 1 (level 0 completed before the stall)",
+			len(ae.CompletedLevels))
+	}
+}
+
+// TestChaosStragglerFlagged: a delayed node is flagged as a straggler on
+// the live event stream, in the span recorder, and in the Chrome trace.
+func TestChaosStragglerFlagged(t *testing.T) {
+	g := harnessGraph(t)
+	plan, err := chaos.ParsePlan("delay-gen@2:l1:40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harnessConfig(core.TransportDirect)
+	cfg.Chaos = &plan
+	cfg.StragglerFactor = 2
+	cfg.Obs = obs.New()
+	cfg.Obs.Spans = obs.NewSpanRecorder()
+	cfg.Obs.Progress = obs.NewProgressBroker()
+	events, cancel := cfg.Obs.Progress.Subscribe(256)
+	defer cancel()
+
+	if _, _, err := runOnce(t, cfg, g); err != nil {
+		t.Fatalf("delayed run aborted: %v", err)
+	}
+
+	found := false
+	for done := false; !done; {
+		select {
+		case ev := <-events:
+			if ev.Kind == obs.EventStraggler && ev.Node == 2 && ev.Level == 1 {
+				found = true
+				if ev.HostSeconds <= ev.MeanHostSeconds {
+					t.Fatalf("straggler event host %.6fs <= mean %.6fs", ev.HostSeconds, ev.MeanHostSeconds)
+				}
+				done = true
+			}
+		default:
+			done = true
+		}
+	}
+	if !found {
+		t.Fatal("no straggler event for node 2 level 1 on the live stream")
+	}
+
+	runs := cfg.Obs.Spans.Runs()
+	if len(runs) == 0 {
+		t.Fatal("no recorded runs")
+	}
+	var flagged bool
+	for _, sf := range runs[len(runs)-1].Stragglers {
+		if sf.Node == 2 && sf.Level == 1 {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("span recorder stragglers = %+v, want node 2 level 1", runs[len(runs)-1].Stragglers)
+	}
+	if v := cfg.Obs.Metrics.Counter("core.stragglers").Value(); v < 1 {
+		t.Fatalf("core.stragglers = %d, want >= 1", v)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, nil, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"straggler L1"`)) {
+		t.Fatal("Chrome trace has no straggler instant event")
+	}
+}
+
+// TestChaosSeedReproducesInjections: the same -chaos-seed always derives
+// the same plan and fires the same faults.
+func TestChaosSeedReproducesInjections(t *testing.T) {
+	g := harnessGraph(t)
+	plan := chaos.NewRandomPlan(5, harnessNodes)
+	if !reflect.DeepEqual(plan, chaos.NewRandomPlan(5, harnessNodes)) {
+		t.Fatal("seed 5 derived two different plans")
+	}
+	cfg := harnessConfig(core.TransportRelay)
+	cfg.Chaos = &plan
+	_, log1, err1 := runOnce(t, cfg, g)
+	_, log2, err2 := runOnce(t, cfg, g)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("completion not deterministic: %v vs %v", err1, err2)
+	}
+	if err1 == nil && !reflect.DeepEqual(log1, log2) {
+		t.Fatalf("injection logs differ:\n%v\nvs\n%v", log1, log2)
+	}
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+
+	"swbfs/internal/obs"
+)
+
+// streamKey identifies one delivery stream: every batch a node sends
+// during one level with one wire kind on one channel. Each such stream has
+// a single writer goroutine, so the per-stream op counter is a
+// deterministic coordinate system.
+type streamKey struct {
+	node     int
+	level    int
+	wireKind uint8
+	channel  uint8
+}
+
+type opKey struct {
+	stream streamKey
+	op     int
+}
+
+type delayKey struct {
+	kind  Kind
+	node  int
+	level int
+}
+
+// Injector executes one run's worth of a Plan. The transport consults
+// OnDeliver once per logical batch delivery (not per retry attempt, so
+// retransmissions never shift the op coordinates) and the module layers
+// consult Delay once per (site, node, level). Safe for concurrent use by
+// every node goroutine.
+//
+// Each consumed fault is recorded exactly once in the injection log; for
+// a run that completes, the sorted log is a pure function of the plan —
+// the bit-for-bit reproducibility the chaos harness asserts.
+type Injector struct {
+	mu      sync.Mutex
+	faults  map[opKey]Fault
+	delays  map[delayKey]Fault
+	counts  map[streamKey]int
+	killed  map[int]bool
+	log     []Fault
+	metrics *obs.Registry
+}
+
+// NewInjector compiles a plan. metrics, when non-nil, receives
+// "chaos.injected" and "chaos.injected.<kind>" counters as faults fire.
+// When several faults share a coordinate, the last one wins.
+func NewInjector(p Plan, metrics *obs.Registry) *Injector {
+	in := &Injector{
+		faults:  make(map[opKey]Fault),
+		delays:  make(map[delayKey]Fault),
+		counts:  make(map[streamKey]int),
+		killed:  make(map[int]bool),
+		metrics: metrics,
+	}
+	for _, f := range p.Faults {
+		if f.Kind.IsDelay() {
+			in.delays[delayKey{f.Kind, f.Node, f.Level}] = f
+		} else {
+			in.faults[opKey{streamKey{f.Node, f.Level, f.WireKind, f.Channel}, f.Op}] = f
+		}
+	}
+	return in
+}
+
+// OnDeliver advances the (src, level, wireKind, channel) stream's op
+// counter and returns the fault striking this delivery, if any. A kill
+// is sticky: once a node's kill fault has fired, every later delivery the
+// node attempts reports a kill (without re-logging).
+func (in *Injector) OnDeliver(src, level int, wireKind, channel uint8) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := streamKey{src, level, wireKind, channel}
+	op := in.counts[key]
+	in.counts[key] = op + 1
+	if in.killed[src] {
+		return Fault{Kind: KindKill, Node: src, Level: level, WireKind: wireKind, Channel: channel, Op: op}, true
+	}
+	f, ok := in.faults[opKey{key, op}]
+	if !ok {
+		return Fault{}, false
+	}
+	delete(in.faults, opKey{key, op})
+	if f.Kind == KindKill {
+		in.killed[src] = true
+	}
+	in.record(f)
+	return f, true
+}
+
+// Delay returns (and consumes) the scheduled delay steps of the given
+// module site for (node, level); zero when none is scheduled.
+func (in *Injector) Delay(kind Kind, node, level int) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := delayKey{kind, node, level}
+	f, ok := in.delays[key]
+	if !ok {
+		return 0
+	}
+	delete(in.delays, key)
+	in.record(f)
+	return f.Steps
+}
+
+// record appends a fired fault to the injection log and bumps the obs
+// counters. Caller holds the mutex.
+func (in *Injector) record(f Fault) {
+	in.log = append(in.log, f)
+	if in.metrics != nil {
+		in.metrics.Counter("chaos.injected").Inc()
+		in.metrics.Counter("chaos.injected." + f.Kind.String()).Inc()
+	}
+}
+
+// Log returns the faults that actually fired, in a deterministic sorted
+// order (consumption order is scheduling-dependent; the sorted log of a
+// completed run is not).
+func (in *Injector) Log() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := make([]Fault, len(in.log))
+	copy(out, in.log)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.WireKind != b.WireKind {
+			return a.WireKind < b.WireKind
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		return a.Op < b.Op
+	})
+	return out
+}
+
+// Injections reports how many faults have fired so far.
+func (in *Injector) Injections() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"swbfs/internal/graph"
+	"swbfs/internal/testutil"
+)
+
+// quantumPairs builds exactly one flush quantum of pairs, enough to force
+// a delivery out of SendMany.
+func quantumPairs(net *Network) []Pair {
+	q := net.QuantumPairs()
+	pairs := make([]Pair, q)
+	for i := range pairs {
+		pairs[i] = Pair{graph.Vertex(i), graph.Vertex(i + 1)}
+	}
+	return pairs
+}
+
+// TestAbortFailsSendsFast: once the network is poisoned, the very next
+// delivery any module attempts fails with an ErrAborted-wrapped error —
+// no module keeps scanning and shipping into closed inboxes for more than
+// the batch it was building.
+func TestAbortFailsSendsFast(t *testing.T) {
+	net := mustNetwork(t, Config{Nodes: 4, SuperNodeSize: 2, BatchBytes: 256})
+	ep := NewDirectEndpoint(net, 0)
+	ep.StartLevel(0, ChanForward)
+
+	net.Abort()
+
+	pairs := quantumPairs(net)
+	err := ep.SendMany(ChanForward, []DstRun{{Dst: 1, N: len(pairs)}}, pairs)
+	if err == nil {
+		t.Fatal("full-quantum SendMany succeeded on a poisoned network")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("SendMany error %v does not wrap ErrAborted", err)
+	}
+	if err := ep.CloseChannel(ChanForward); err == nil {
+		t.Fatal("CloseChannel succeeded on a poisoned network")
+	} else if !errors.Is(err, ErrAborted) {
+		t.Fatalf("CloseChannel error %v does not wrap ErrAborted", err)
+	}
+}
+
+// TestAbortFailsRelaySendsFast is the relay-transport variant: both the
+// stage-one envelope path and the end-marker path must refuse immediately.
+func TestAbortFailsRelaySendsFast(t *testing.T) {
+	shape, err := NewGroupShape(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := mustNetwork(t, Config{Nodes: 4, SuperNodeSize: 2, BatchBytes: 256})
+	ep, err := NewRelayEndpoint(net, 0, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.StartLevel(0, ChanForward)
+
+	net.Abort()
+
+	pairs := quantumPairs(net)
+	if err := ep.SendMany(ChanForward, []DstRun{{Dst: 3, N: len(pairs)}}, pairs); err == nil {
+		t.Fatal("relay SendMany succeeded on a poisoned network")
+	} else if !errors.Is(err, ErrAborted) {
+		t.Fatalf("relay SendMany error %v does not wrap ErrAborted", err)
+	}
+	if err := ep.CloseChannel(ChanForward); err == nil {
+		t.Fatal("relay CloseChannel succeeded on a poisoned network")
+	} else if !errors.Is(err, ErrAborted) {
+		t.Fatalf("relay CloseChannel error %v does not wrap ErrAborted", err)
+	}
+}
+
+// TestAbortUnblocksRecv: a receiver blocked in Recv wakes with an
+// ErrAborted-wrapped EvError when the network is poisoned, and its
+// goroutine exits.
+func TestAbortUnblocksRecv(t *testing.T) {
+	leak := testutil.CheckGoroutines(t)
+	net := mustNetwork(t, Config{Nodes: 2, SuperNodeSize: 2})
+	ep := NewDirectEndpoint(net, 1)
+	ep.StartLevel(0, ChanForward)
+
+	got := make(chan Event, 1)
+	go func() { got <- ep.Recv() }()
+
+	net.Abort()
+	ev := <-got
+	if ev.Type != EvError {
+		t.Fatalf("Recv returned %v, want EvError", ev.Type)
+	}
+	if !errors.Is(ev.Err, ErrAborted) {
+		t.Fatalf("Recv error %v does not wrap ErrAborted", ev.Err)
+	}
+	leak()
+}
+
+// TestCloseLeavesNoGoroutines: plain Close (the teardown path every Run
+// takes) must not strand any transport goroutines.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	leak := testutil.CheckGoroutines(t)
+	net := mustNetwork(t, Config{Nodes: 4, SuperNodeSize: 2})
+	eps := make([]Endpoint, 4)
+	for i := range eps {
+		eps[i] = NewDirectEndpoint(net, i)
+		eps[i].StartLevel(0, ChanForward)
+	}
+	if err := eps[0].Send(ChanForward, 1, Pair{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	leak()
+}

@@ -99,6 +99,12 @@ type Batch struct {
 	Level   int
 	Pairs   []Pair
 	Inner   []Batch // only for KindRelayData
+
+	// DupID is nonzero only on chaos-injected duplicate deliveries: both
+	// copies carry the same id and the receiving endpoint discards the
+	// second before any processing or accounting. The copies share the
+	// Pairs slice, so the discarded one must never be recycled.
+	DupID int64
 }
 
 // ByteSize returns the modelled wire size of the batch.

@@ -2,7 +2,10 @@ package comm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
+
+	"swbfs/internal/graph"
 )
 
 // Codec models a message compression scheme for data batches. The paper
@@ -68,6 +71,63 @@ func (VarintDeltaCodec) EncodedSize(pairs []Pair) int64 {
 		size += int64(binary.PutUvarint(buf[:], uint64(p[0])))
 	}
 	return size
+}
+
+// EncodePairs serializes a payload in the codec's wire format: pairs are
+// sorted by (destination, source), destinations delta-encoded, and each
+// pair emitted as uvarint(dstDelta) uvarint(src). The byte length always
+// equals EncodedSize — both sums are order-independent, so sorting the
+// whole pairs (rather than just the destination column EncodedSize sizes)
+// changes nothing. Ordering is normalized, not preserved: DecodePairs
+// returns the same multiset sorted by (dst, src).
+func (VarintDeltaCodec) EncodePairs(pairs []Pair) []byte {
+	if len(pairs) == 0 {
+		return nil
+	}
+	sorted := make([]Pair, len(pairs))
+	copy(sorted, pairs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][1] != sorted[j][1] {
+			return sorted[i][1] < sorted[j][1]
+		}
+		return sorted[i][0] < sorted[j][0]
+	})
+	out := make([]byte, 0, len(pairs)*4)
+	var buf [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for i, p := range sorted {
+		delta := int64(p[1]) - prev
+		if i == 0 {
+			delta = int64(p[1])
+		}
+		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(delta))]...)
+		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(p[0]))]...)
+		prev = int64(p[1])
+	}
+	return out
+}
+
+// DecodePairs inverts EncodePairs: pairs come back sorted by (dst, src).
+// An error reports a truncated or malformed stream.
+func (VarintDeltaCodec) DecodePairs(data []byte) ([]Pair, error) {
+	var pairs []Pair
+	prev := int64(0)
+	for len(data) > 0 {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("comm: varint-delta payload: bad destination delta at pair %d", len(pairs))
+		}
+		data = data[n:]
+		src, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("comm: varint-delta payload: truncated source at pair %d", len(pairs))
+		}
+		data = data[n:]
+		dst := prev + int64(delta)
+		pairs = append(pairs, Pair{graph.Vertex(src), graph.Vertex(dst)})
+		prev = dst
+	}
+	return pairs, nil
 }
 
 // codecOf returns the network's codec (RawCodec when unset).

@@ -127,6 +127,12 @@ type DirectEndpoint struct {
 	level int
 	ends  [numChannels]int
 	open  [numChannels]bool
+
+	// seenDups tracks chaos-injected duplicate deliveries (by DupID) so
+	// the second copy is discarded before any processing. Only the Recv
+	// goroutine touches it; it is lazily allocated because a fault-free
+	// run never sees a duplicate.
+	seenDups map[int64]bool
 }
 
 // NewDirectEndpoint creates the rank for `node`.
@@ -223,7 +229,10 @@ func (e *DirectEndpoint) Recv() Event {
 	for {
 		b, ok := e.net.inboxes[e.node].Pop()
 		if !ok {
-			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level", e.node)}
+			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level: %w", e.node, ErrAborted)}
+		}
+		if b.DupID != 0 && e.dropDup(b.DupID) {
+			continue // chaos duplicate: the first copy was already delivered
 		}
 		if b.Level != e.level {
 			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
@@ -245,4 +254,16 @@ func (e *DirectEndpoint) Recv() Event {
 			panic(fmt.Sprintf("comm: direct endpoint got %s batch", b.Kind))
 		}
 	}
+}
+
+// dropDup reports whether a DupID was seen before, recording it otherwise.
+func (e *DirectEndpoint) dropDup(id int64) bool {
+	if e.seenDups == nil {
+		e.seenDups = make(map[int64]bool)
+	}
+	if e.seenDups[id] {
+		return true
+	}
+	e.seenDups[id] = true
+	return false
 }

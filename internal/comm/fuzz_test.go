@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"swbfs/internal/graph"
+)
+
+// pairsFromBytes carves raw into 16-byte little-endian (src, dst) pairs —
+// the fuzzer's way of generating arbitrary payloads, including negative
+// vertex IDs the codec must survive.
+func pairsFromBytes(raw []byte) []Pair {
+	var pairs []Pair
+	for i := 0; i+16 <= len(raw); i += 16 {
+		src := int64(binary.LittleEndian.Uint64(raw[i:]))
+		dst := int64(binary.LittleEndian.Uint64(raw[i+8:]))
+		pairs = append(pairs, Pair{graph.Vertex(src), graph.Vertex(dst)})
+	}
+	return pairs
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][1] != ps[j][1] {
+			return ps[i][1] < ps[j][1]
+		}
+		return ps[i][0] < ps[j][0]
+	})
+}
+
+// FuzzEnvelopeRoundTrip drives the varint-delta wire codec with arbitrary
+// payloads: the encoded length must always equal EncodedSize (the byte
+// count the traffic model charges), the decode must reproduce the pair
+// multiset, and decoding arbitrary bytes must never panic.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 48)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // truncated / high-bit garbage
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		codec := VarintDeltaCodec{}
+		pairs := pairsFromBytes(raw)
+
+		enc := codec.EncodePairs(pairs)
+		if int64(len(enc)) != codec.EncodedSize(pairs) {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), codec.EncodedSize(pairs))
+		}
+		dec, err := codec.DecodePairs(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		want := append([]Pair(nil), pairs...)
+		sortPairs(want)
+		if len(dec) != len(want) {
+			t.Fatalf("decoded %d pairs, want %d", len(dec), len(want))
+		}
+		for i := range want {
+			if dec[i] != want[i] {
+				t.Fatalf("pair %d = %v, want %v", i, dec[i], want[i])
+			}
+		}
+
+		// Arbitrary bytes: rejecting is fine, panicking is not — and any
+		// accepted stream must re-encode to a stable normal form.
+		if dec2, err := codec.DecodePairs(raw); err == nil {
+			enc2 := codec.EncodePairs(dec2)
+			dec3, err := codec.DecodePairs(enc2)
+			if err != nil {
+				t.Fatalf("re-decode of normalized stream failed: %v", err)
+			}
+			if len(dec3) != len(dec2) {
+				t.Fatalf("normalization unstable: %d pairs then %d", len(dec2), len(dec3))
+			}
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/fabric"
 	"swbfs/internal/obs"
 )
@@ -31,6 +34,34 @@ const (
 	// the utilization of both memory and network bandwidth by batching".
 	DefaultBatchBytes = 64 << 10
 )
+
+// Send-retry policy: a transiently failed or dropped delivery is
+// retransmitted after a short backoff. MaxSendAttempts bounds the total
+// attempts per delivery; a node that stays unreachable for all of them is
+// treated as dead and the send fails permanently.
+const (
+	MaxSendAttempts = 4
+	retryBackoff    = 100 * time.Microsecond
+)
+
+// ErrAborted marks errors that are consequences of the job teardown
+// rather than its cause: deliveries and receives failing because a peer
+// already called Abort. Callers filter it with errors.Is so the first
+// real failure is the one reported.
+var ErrAborted = errors.New("comm: network aborted")
+
+// ErrNodeKilled reports a chaos-killed node: the fault plan scheduled the
+// node's death and every send it attempted from that point failed through
+// all retry attempts.
+type ErrNodeKilled struct {
+	Node  int
+	Level int
+}
+
+func (e *ErrNodeKilled) Error() string {
+	return fmt.Sprintf("comm: node %d killed by fault plan during level %d (unreachable after %d send attempts)",
+		e.Node, e.Level, MaxSendAttempts)
+}
 
 // ErrConnMemory reports per-node MPI connection memory exhaustion — the
 // crash the paper observes for direct messaging at 16,384 nodes.
@@ -59,6 +90,9 @@ type Config struct {
 	// Codec compresses data payloads on the wire (nil = RawCodec). Only
 	// the accounted traffic changes; delivery is lossless.
 	Codec Codec
+	// Chaos, when non-nil, injects the compiled fault plan into every
+	// delivery (see internal/chaos and docs/CHAOS.md).
+	Chaos *chaos.Injector
 }
 
 // Network owns the inboxes, traffic counters and connection tracking of a
@@ -85,6 +119,14 @@ type Network struct {
 	// relay envelopes) — the batching-ratio statistics the observability
 	// layer reports.
 	kindMsgs [numKinds]atomicInt64
+
+	// chaos injects scheduled faults into deliveries (nil = perfect
+	// fabric). retries counts retransmissions after transient faults;
+	// dupSeq numbers injected duplicate deliveries so receivers can
+	// discard the extra copy.
+	chaos   *chaos.Injector
+	retries atomicInt64
+	dupSeq  atomicInt64
 
 	coll *collectiveGroup
 }
@@ -114,6 +156,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nodeMsgs:   make([]atomicInt64, cfg.Nodes),
 		nodeBytes:  make([]atomicInt64, cfg.Nodes),
 		codec:      cfg.Codec,
+		chaos:      cfg.Chaos,
 	}
 	for i := range n.inboxes {
 		n.inboxes[i] = NewInbox()
@@ -140,9 +183,46 @@ func (n *Network) QuantumPairs() int {
 
 // deliver transmits a batch: establishes the MPI connection (with budget
 // enforcement), records the traffic and enqueues at the destination.
+//
+// A poisoned (aborted) network fails every delivery immediately with an
+// ErrAborted-wrapped error — closed inboxes silently drop pushes, so
+// without this check senders would keep scanning and shipping into the
+// void after a peer failure. The abort check runs before the fault
+// injector so post-abort sends never consume fault coordinates.
+//
+// Fault injection: the injector is consulted once per logical delivery. A
+// transient send failure or wire drop costs one retry (bounded backoff,
+// counted in comm.retries) and then retransmits; failed attempts charge no
+// modelled traffic, so a recovered run's counters match the fault-free
+// run. A kill exhausts all MaxSendAttempts and fails permanently. A
+// duplicate pushes the batch twice under one DupID; the receiver discards
+// the second copy, and the wire charge stays single so the run identity
+// is preserved (retransmissions and duplicates live outside the modelled
+// machine — see docs/CHAOS.md).
 func (n *Network) deliver(b Batch) error {
 	if b.Dst < 0 || b.Dst >= n.Nodes() {
 		return fmt.Errorf("comm: delivery to invalid node %d", b.Dst)
+	}
+	if n.Aborted() {
+		return fmt.Errorf("comm: node %d delivery to %d refused: %w", b.Src, b.Dst, ErrAborted)
+	}
+	dup := false
+	if n.chaos != nil {
+		if f, ok := n.chaos.OnDeliver(b.Src, b.Level, uint8(b.Kind), uint8(b.Channel)); ok {
+			switch f.Kind {
+			case chaos.KindKill:
+				for attempt := 1; attempt < MaxSendAttempts; attempt++ {
+					n.retries.Add(1)
+					time.Sleep(retryBackoff * time.Duration(attempt))
+				}
+				return &ErrNodeKilled{Node: b.Src, Level: b.Level}
+			case chaos.KindSendFail, chaos.KindDrop:
+				n.retries.Add(1)
+				time.Sleep(retryBackoff)
+			case chaos.KindDup:
+				dup = true
+			}
+		}
 	}
 	class := n.Topo.Classify(b.Src, b.Dst)
 	wire := n.wireSize(&b)
@@ -155,9 +235,28 @@ func (n *Network) deliver(b Batch) error {
 		n.nodeBytes[b.Src].Add(wire)
 	}
 	n.Counters.Record(class, wire)
+	if dup {
+		b.DupID = n.dupSeq.Add(1)
+		n.inboxes[b.Dst].Push(b)
+	}
 	n.inboxes[b.Dst].Push(b)
 	return nil
 }
+
+// ChaosDelay returns the scheduled chaos delay of a module site for
+// (node, level), consuming it; zero without an injector or scheduled
+// fault. The caller sleeps on its own module goroutine — host time only,
+// the modelled machine never sees it.
+func (n *Network) ChaosDelay(kind chaos.Kind, node, level int) time.Duration {
+	if n.chaos == nil {
+		return 0
+	}
+	return time.Duration(n.chaos.Delay(kind, node, level)) * chaos.StepDuration
+}
+
+// Retries reports how many retransmission attempts the fault injector has
+// forced so far.
+func (n *Network) Retries() int64 { return n.retries.Load() }
 
 // NodeSent returns the network messages and bytes node has sent so far
 // (loopback excluded). Callers snapshot before/after a level for deltas.
@@ -225,6 +324,9 @@ func (n *Network) MetricsInto(r *obs.Registry) {
 	}
 	r.Gauge("comm.connections.max").SetMax(int64(n.MaxConnectionCount()))
 	r.Gauge("comm.connections.memory_bytes").SetMax(n.ConnectionMemoryBytes())
+	if v := n.retries.Load(); v > 0 {
+		r.Counter("comm.retries").Add(v)
+	}
 }
 
 // Close shuts every inbox (used on teardown and error paths).

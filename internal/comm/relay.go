@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/obs"
 )
 
@@ -220,6 +222,11 @@ type RelayEndpoint struct {
 	// export can draw cross-node flow arrows. The recorder aggregates per
 	// (level, channel, stage, src, dst) and is safe for concurrent use.
 	flows *obs.SpanRecorder
+
+	// seenDups tracks chaos-injected duplicate deliveries (by DupID) so
+	// the second copy is discarded before any relay accounting. Only the
+	// Recv goroutine touches it.
+	seenDups map[int64]bool
 }
 
 // SetFlowSink attaches (or detaches, with nil) the flow-link recorder.
@@ -365,7 +372,10 @@ func (e *RelayEndpoint) Recv() Event {
 	for {
 		b, ok := e.net.inboxes[e.node].Pop()
 		if !ok {
-			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level", e.node)}
+			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level: %w", e.node, ErrAborted)}
+		}
+		if b.DupID != 0 && e.dropDup(b.DupID) {
+			continue // chaos duplicate: the first copy was already delivered
 		}
 		if b.Level != e.level {
 			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
@@ -386,6 +396,9 @@ func (e *RelayEndpoint) Recv() Event {
 			}
 
 		case KindRelayData:
+			if d := e.net.ChaosDelay(chaos.KindDelayRelay, e.node, e.level); d > 0 {
+				time.Sleep(d) // scheduled relay stall: host time only
+			}
 			ch := b.Channel
 			q := e.net.QuantumPairs()
 			for _, in := range b.Inner {
@@ -435,6 +448,18 @@ func (e *RelayEndpoint) Recv() Event {
 			panic(fmt.Sprintf("comm: relay endpoint got unknown kind %d", b.Kind))
 		}
 	}
+}
+
+// dropDup reports whether a DupID was seen before, recording it otherwise.
+func (e *RelayEndpoint) dropDup(id int64) bool {
+	if e.seenDups == nil {
+		e.seenDups = make(map[int64]bool)
+	}
+	if e.seenDups[id] {
+		return true
+	}
+	e.seenDups[id] = true
+	return false
 }
 
 // relayFlush ships one stage-two batch.

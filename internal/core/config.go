@@ -18,7 +18,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/obs"
 	"swbfs/internal/perf"
@@ -112,6 +114,24 @@ type Config struct {
 	// defaults).
 	BatchBytes      int64
 	MPIMemoryBudget int64
+
+	// Chaos, when non-nil, injects the plan's faults into every Run. The
+	// plan is part of the run's identity the way KroneckerConfig.Shards
+	// is part of a graph's: the same plan against the same configuration
+	// reproduces the same injections bit-for-bit (see docs/CHAOS.md).
+	Chaos *chaos.Plan
+
+	// LevelTimeout arms the per-level watchdog: if no BFS level completes
+	// for this long (host time), the run is aborted with ErrLevelTimeout
+	// wrapped in an AbortError. 0 disables the watchdog.
+	LevelTimeout time.Duration
+
+	// StragglerFactor enables straggler detection: after each level, a
+	// node whose host-side level time exceeds the all-node mean by this
+	// factor is flagged (obs.EventStraggler on /events, an instant event
+	// in the Chrome trace, and the core.stragglers counter). 0 disables.
+	// Host-side timings only — modelled results are unaffected.
+	StragglerFactor float64
 
 	// Codec compresses message payloads on the wire (nil = raw 16 bytes
 	// per pair). Message compression is the paper's stated future-work

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"swbfs/internal/comm"
 	"swbfs/internal/graph"
 	"swbfs/internal/perf"
+	"swbfs/internal/testutil"
 )
 
 func kron(t *testing.T, scale int, seed int64) *graph.CSR {
@@ -132,6 +134,27 @@ func TestDistributedMatchesReference(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestRunLeavesNoGoroutines: every Run tears down its node, module and
+// watchdog goroutines — repeated runs on one Runner must not accumulate
+// any.
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	leak := testutil.CheckGoroutines(t)
+	g := kron(t, 10, 42)
+	cfg := DefaultConfig(4)
+	cfg.SuperNodeSize = 2
+	cfg.LevelTimeout = 30 * time.Second // watchdog armed, never fires
+	r, err := NewRunner(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Run(17); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leak()
 }
 
 func TestDirectionOptimizationEngages(t *testing.T) {

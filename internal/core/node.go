@@ -4,7 +4,9 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/graph"
 	"swbfs/internal/sw"
@@ -110,10 +112,24 @@ func (ns *nodeState) parentOf(local int64) graph.Vertex {
 	return graph.Vertex(atomic.LoadInt64(&ns.parent[local]))
 }
 
-// claim publishes `u` as the parent of local vertex `local` if it is still
-// undiscovered; it reports whether this call won the race.
+// claim publishes `u` as the parent of local vertex `local` unless an
+// equal-or-smaller parent is already recorded; it reports whether this
+// call improved the entry. The min rule (rather than first-writer-wins)
+// makes the parent tree a pure function of each level's candidate set —
+// the candidate sets are deterministic per level (fixed visited snapshots
+// and hub bitmaps), so taking the minimum over them erases arrival-order
+// races between workers and transports. Chaos relies on this: a completed
+// faulty run must produce a bit-identical tree (docs/CHAOS.md).
 func (ns *nodeState) claim(local int64, u graph.Vertex) bool {
-	return atomic.CompareAndSwapInt64(&ns.parent[local], int64(graph.NoVertex), int64(u))
+	for {
+		old := atomic.LoadInt64(&ns.parent[local])
+		if old != int64(graph.NoVertex) && old <= int64(u) {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&ns.parent[local], old, int64(u)) {
+			return true
+		}
+	}
 }
 
 func (ns *nodeState) resetLevelCounters() {
@@ -151,15 +167,33 @@ func (ns *nodeState) runLevel(level int, dir Direction) error {
 		return errAborted
 	}
 
+	// Each module's host duration feeds straggler detection. The chaos
+	// delays stall the module goroutines before their work, as if a CPE
+	// cluster were slow to dispatch — host time only, invisible to the
+	// modelled machine. The handler's slot write is ordered before the
+	// runner's post-level read by the handlerErr receive below.
 	handlerErr := make(chan error, 1)
-	go func() { handlerErr <- ns.handle(dir) }()
+	go func() {
+		start := time.Now()
+		if d := ns.r.net.ChaosDelay(chaos.KindDelayHandler, ns.id, level); d > 0 {
+			time.Sleep(d)
+		}
+		err := ns.handle(dir)
+		ns.r.hostHandlerNanos[ns.id] = int64(time.Since(start))
+		handlerErr <- err
+	}()
 
+	genStart := time.Now()
+	if d := ns.r.net.ChaosDelay(chaos.KindDelayGenerator, ns.id, level); d > 0 {
+		time.Sleep(d)
+	}
 	var genErr error
 	if dir == TopDown {
 		genErr = ns.forwardGenerator()
 	} else {
 		genErr = ns.backwardGenerator()
 	}
+	ns.r.hostGenNanos[ns.id] = int64(time.Since(genStart))
 	hErr := <-handlerErr
 	if genErr != nil {
 		return genErr
@@ -363,6 +397,9 @@ func (ns *nodeState) handleForward(pairs []comm.Pair) {
 		for _, p := range pairs {
 			u, v := p[0], p[1]
 			local := r.part.Local(v)
+			if ns.visited.Get(local) {
+				continue // discovered in an earlier level: parent is final
+			}
 			if ns.claim(local, u) {
 				ns.next.Set(local)
 			}
@@ -377,6 +414,9 @@ func (ns *nodeState) handleForward(pairs []comm.Pair) {
 			for _, p := range ps {
 				u, v := p[0], p[1]
 				local := r.part.Local(v)
+				if ns.visited.Get(local) {
+					continue
+				}
 				if ns.claim(local, u) {
 					ns.next.SetAtomic(local)
 				}

@@ -27,7 +27,7 @@ func (r *Runner) observe(res *Result) {
 		r.foldMetrics(m, res)
 	}
 	if sr := o.SpansOf(); sr != nil {
-		sr.EndRun(res.Time, r.buildSpans(res))
+		sr.EndRun(res.Time, r.buildSpans(res), r.stragglerFlags(res))
 	}
 	if pb := o.ProgressOf(); pb != nil {
 		pb.Publish(obs.LiveEvent{
@@ -77,6 +77,29 @@ func (r *Runner) buildSpans(res *Result) []obs.ModuleSpan {
 		levelStart += r.model.LevelTime(s)
 	}
 	return spans
+}
+
+// stragglerFlags stamps each detected straggler with its level's start on
+// the modelled timeline, so the Chrome trace can pin the instant event to
+// the flagged level.
+func (r *Runner) stragglerFlags(res *Result) []obs.StragglerFlag {
+	if len(r.stragglers) == 0 {
+		return nil
+	}
+	starts := make([]float64, len(res.Levels))
+	t := 0.0
+	for i, s := range res.Levels {
+		starts[i] = t
+		t += r.model.LevelTime(s)
+	}
+	out := make([]obs.StragglerFlag, len(r.stragglers))
+	for i, sf := range r.stragglers {
+		if sf.Level < len(starts) {
+			sf.Start = starts[sf.Level]
+		}
+		out[i] = sf
+	}
+	return out
 }
 
 // buildTrace converts the run's per-level statistics into a RunTrace.
@@ -168,6 +191,9 @@ func (r *Runner) foldMetrics(m *obs.Registry, res *Result) {
 	m.Counter("core.module.small_batches_mpe").Add(smallBatches)
 	m.Counter("comm.relay.pair_bytes").Add(relayed)
 	m.Gauge("core.workers").Set(int64(r.cfg.Workers))
+	if n := len(r.stragglers); n > 0 {
+		m.Counter("core.stragglers").Add(int64(n))
+	}
 
 	// Network traffic and connection accounting (comm.* taxonomy).
 	r.net.MetricsInto(m)

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/fabric"
 	"swbfs/internal/graph"
@@ -15,6 +18,28 @@ import (
 // errAborted signals a node saw the job torn down by a peer's failure; the
 // peer's original error is reported instead.
 var errAborted = errors.New("core: run aborted by peer failure")
+
+// ErrLevelTimeout reports that the per-level watchdog (Config.LevelTimeout)
+// saw no level complete within the deadline and tore the run down.
+var ErrLevelTimeout = errors.New("core: level watchdog timeout")
+
+// AbortError is the partial-result report of a torn-down run: the original
+// cause plus the per-level statistics of every level that fully completed
+// before the abort. Unwrap exposes the cause, so errors.Is(err,
+// ErrLevelTimeout) and errors.As(err, *comm.ErrNodeKilled) both see
+// through it.
+type AbortError struct {
+	Root            graph.Vertex
+	Cause           error
+	CompletedLevels []perf.LevelStats
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("core: run from root %d aborted after %d completed levels: %v",
+		e.Root, len(e.CompletedLevels), e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
 
 // Result is one BFS run's output: the validated-able parent map plus the
 // measurements the evaluation consumes.
@@ -67,6 +92,22 @@ type Runner struct {
 	nodes   []*nodeState
 	policy  *Policy
 	curRoot graph.Vertex
+
+	// Chaos state: the per-run fault injector (nil without a plan) and
+	// the level tick the watchdog watches — node 0 advances it once per
+	// completed level.
+	inj       *chaos.Injector
+	levelTick atomic.Int64
+
+	// Straggler state: per-node host-side module durations for the
+	// current level (each node writes only its own slot, ordered against
+	// node 0's read by the post-level collectives) and node 0's
+	// accumulated flags. Generator and handler are timed separately
+	// because whole-level wall time cannot discriminate — every node's
+	// level ends only when the slowest peer's end markers arrive.
+	hostGenNanos     []int64
+	hostHandlerNanos []int64
+	stragglers       []obs.StragglerFlag
 
 	mu     sync.Mutex
 	levels []perf.LevelStats
@@ -169,12 +210,20 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		sr.BeginRun(int64(root))
 	}
 
+	// The injector is rebuilt per run so every Run against the same plan
+	// replays the same faults — the determinism contract of docs/CHAOS.md.
+	r.inj = nil
+	if r.cfg.Chaos != nil {
+		r.inj = chaos.NewInjector(*r.cfg.Chaos, r.cfg.Obs.MetricsOf())
+	}
+
 	net, err := comm.NewNetwork(comm.Config{
 		Nodes:           r.cfg.Nodes,
 		SuperNodeSize:   r.cfg.SuperNodeSize,
 		BatchBytes:      r.cfg.BatchBytes,
 		MPIMemoryBudget: r.cfg.MPIMemoryBudget,
 		Codec:           r.cfg.Codec,
+		Chaos:           r.inj,
 	})
 	if err != nil {
 		return nil, err
@@ -188,6 +237,10 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	r.policy = NewPolicy(r.cfg.Alpha, r.cfg.Beta, r.cfg.DirectionOptimized)
 	r.levels = nil
 	r.lastSnap = fabric.Snapshot{}
+	r.levelTick.Store(0)
+	r.hostGenNanos = make([]int64, r.cfg.Nodes)
+	r.hostHandlerNanos = make([]int64, r.cfg.Nodes)
+	r.stragglers = nil
 
 	if r.hubs != nil {
 		r.hubInCurr = graph.NewBitmap(int64(r.hubsBottomUp))
@@ -235,6 +288,36 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	r.nodes[owner].parent[rootLocal] = int64(root)
 	r.nodes[owner].curr.Set(rootLocal)
 
+	// Per-level watchdog: if node 0's tick stops advancing for a whole
+	// timeout window, poison the network so every blocked module unwinds.
+	var watchdogErr chan error
+	var watchdogStop chan struct{}
+	if r.cfg.LevelTimeout > 0 {
+		watchdogErr = make(chan error, 1)
+		watchdogStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(r.cfg.LevelTimeout)
+			defer t.Stop()
+			last := r.levelTick.Load()
+			for {
+				select {
+				case <-watchdogStop:
+					return
+				case <-t.C:
+					cur := r.levelTick.Load()
+					if cur != last {
+						last = cur
+						continue
+					}
+					watchdogErr <- fmt.Errorf("%w: no level completed within %s",
+						ErrLevelTimeout, r.cfg.LevelTimeout)
+					net.Abort()
+					return
+				}
+			}
+		}()
+	}
+
 	// Drive every node SPMD-style.
 	errs := make([]error, r.cfg.Nodes)
 	var wg sync.WaitGroup
@@ -246,17 +329,50 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		}(node)
 	}
 	wg.Wait()
+	if watchdogStop != nil {
+		close(watchdogStop)
+	}
 
+	// Consequence errors (errAborted from a peer's teardown, comm
+	// inbox-closed errors wrapping comm.ErrAborted) are filtered so the
+	// original failure surfaces as the abort cause.
+	var cause error
+	aborted := false
 	for _, err := range errs {
-		if err != nil && !errors.Is(err, errAborted) {
-			return nil, err
+		if err == nil {
+			continue
+		}
+		aborted = true
+		if cause == nil && !errors.Is(err, errAborted) && !errors.Is(err, comm.ErrAborted) {
+			cause = err
 		}
 	}
-	if net.Aborted() {
-		return nil, fmt.Errorf("core: run aborted without a reported cause")
+	if aborted {
+		if cause == nil && watchdogErr != nil {
+			select {
+			case cause = <-watchdogErr:
+			default:
+			}
+		}
+		if cause == nil {
+			cause = errors.New("core: run aborted without a reported cause")
+		}
+		return nil, &AbortError{
+			Root:            root,
+			Cause:           cause,
+			CompletedLevels: append([]perf.LevelStats(nil), r.levels...),
+		}
 	}
 
 	return r.assemble(root), nil
+}
+
+// LastInjections returns the faults actually injected during the most
+// recent Run, deterministically sorted; nil when chaos is disabled. Same
+// plan, same configuration, same root → same log, whether or not the run
+// completed.
+func (r *Runner) LastInjections() []chaos.Fault {
+	return r.inj.Log()
 }
 
 // runBFS is the per-node main loop of Algorithm 1.
@@ -346,6 +462,10 @@ func (ns *nodeState) runBFS() error {
 		}
 
 		if ns.id == 0 {
+			r.levelTick.Add(1) // feed the watchdog: this level completed
+			if r.cfg.StragglerFactor > 0 {
+				r.detectStragglers(level)
+			}
 			after := r.net.Counters.Snapshot()
 			rounds := 1
 			if r.cfg.Transport == TransportRelay {
@@ -378,6 +498,60 @@ func (ns *nodeState) runBFS() error {
 		ns.curr, ns.next = ns.next, ns.curr
 		ns.next.Reset()
 		level++
+	}
+}
+
+// stragglerFloorNanos is the absolute floor below which a level is too
+// fast for its spread to mean anything: sub-200µs levels on an idle host
+// are scheduler noise, not stragglers.
+const stragglerFloorNanos = 200_000
+
+func meanNanos(xs []int64) float64 {
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// detectStragglers flags the nodes whose host-side module time for this
+// level exceeded the all-node mean of that module class by the configured
+// factor. Generator and handler spans are compared against their own
+// class: a generator straggler delays every peer's handler, so only the
+// per-class comparison pins the blame on the slow node instead of its
+// victims. Node 0 only, after the post-level collectives: every peer has
+// written its slots and none can start the next level until node 0 joins
+// its collectives. Host time only — modelled statistics are untouched, so
+// enabling the detector never perturbs LevelStats.
+func (r *Runner) detectStragglers(level int) {
+	factor := r.cfg.StragglerFactor
+	genMean := meanNanos(r.hostGenNanos)
+	handlerMean := meanNanos(r.hostHandlerNanos)
+	for node := 0; node < len(r.hostGenNanos); node++ {
+		var host, mean float64
+		if g := float64(r.hostGenNanos[node]); g > factor*genMean && g > stragglerFloorNanos {
+			host, mean = g, genMean
+		}
+		if h := float64(r.hostHandlerNanos[node]); h > factor*handlerMean && h > stragglerFloorNanos && h > host {
+			host, mean = h, handlerMean
+		}
+		if host == 0 {
+			continue
+		}
+		sf := obs.StragglerFlag{
+			Node: node, Level: level,
+			HostSeconds:     host / 1e9,
+			MeanHostSeconds: mean / 1e9,
+		}
+		r.stragglers = append(r.stragglers, sf)
+		if pb := r.cfg.Obs.ProgressOf(); pb != nil {
+			pb.Publish(obs.LiveEvent{
+				Kind: obs.EventStraggler, Root: int64(r.curRoot),
+				Level: level, Node: node,
+				HostSeconds:     sf.HostSeconds,
+				MeanHostSeconds: sf.MeanHostSeconds,
+			})
+		}
 	}
 }
 

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
@@ -28,6 +30,35 @@ var sharedWorkers int
 // SetWorkers fixes the worker-pool width of all subsequent
 // measurements. Not safe to call concurrently with running measurements.
 func SetWorkers(k int) { sharedWorkers = k }
+
+// sharedChaosPlan / sharedChaosSeed arm fault injection for functional
+// measurements; sharedLevelTimeout and sharedStragglerFactor configure
+// the matching recovery/detection knobs (see docs/CHAOS.md).
+var (
+	sharedChaosPlan       *chaos.Plan
+	sharedChaosSeed       int64
+	sharedLevelTimeout    time.Duration
+	sharedStragglerFactor float64
+)
+
+// SetChaos arms fault injection for all subsequent measurements: a
+// non-nil plan is used verbatim; otherwise a non-zero seed derives a
+// fresh random plan per measurement (node counts vary across a sweep,
+// and plan node IDs must stay in range). Pass (nil, 0) to disarm. Not
+// safe to call concurrently with running measurements.
+func SetChaos(plan *chaos.Plan, seed int64) {
+	sharedChaosPlan, sharedChaosSeed = plan, seed
+}
+
+// SetLevelTimeout arms the per-level watchdog of all subsequent
+// measurements (0 disables it). Not safe to call concurrently with
+// running measurements.
+func SetLevelTimeout(d time.Duration) { sharedLevelTimeout = d }
+
+// SetStragglerFactor sets the straggler-detection threshold of all
+// subsequent measurements (0 disables detection). Not safe to call
+// concurrently with running measurements.
+func SetStragglerFactor(f float64) { sharedStragglerFactor = f }
 
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
@@ -82,6 +113,14 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		SmallMessageMPE:    true,
 		Workers:            sharedWorkers,
 		Obs:                sharedObserver,
+		LevelTimeout:       sharedLevelTimeout,
+		StragglerFactor:    sharedStragglerFactor,
+	}
+	if sharedChaosPlan != nil {
+		cfg.Chaos = sharedChaosPlan
+	} else if sharedChaosSeed != 0 {
+		plan := chaos.NewRandomPlan(sharedChaosSeed, nodes)
+		cfg.Chaos = &plan
 	}
 
 	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: scale, Seed: seed})

@@ -60,6 +60,69 @@ func FuzzReadEdgesText(f *testing.F) {
 	})
 }
 
+// FuzzBitmapWordScan checks the bitmap's word-stepping scan operations
+// (NextSet, ForEach, Count, Empty, Or) against a plain bool-slice
+// reference model, including the word-boundary tail the BFS generators'
+// sharded scans depend on.
+func FuzzBitmapWordScan(f *testing.F) {
+	f.Add([]byte{0, 63, 64, 65, 127}, []byte{1, 2}, uint16(128))
+	f.Add([]byte{}, []byte{}, uint16(1))
+	f.Add([]byte{255}, []byte{255}, uint16(256))
+	f.Fuzz(func(t *testing.T, setA, setB []byte, nSeed uint16) {
+		n := int64(nSeed)%1024 + 1
+		a := NewBitmap(n)
+		b := NewBitmap(n)
+		ref := make([]bool, n)
+		for _, raw := range setA {
+			a.Set(int64(raw) % n)
+			ref[int64(raw)%n] = true
+		}
+		refB := make([]bool, n)
+		for _, raw := range setB {
+			b.Set(int64(raw) % n)
+			refB[int64(raw)%n] = true
+		}
+
+		check := func(bm *Bitmap, model []bool) {
+			t.Helper()
+			var want []int64
+			for i, set := range model {
+				if set {
+					want = append(want, int64(i))
+				}
+			}
+			var gotNext []int64
+			for i := bm.NextSet(0); i >= 0; i = bm.NextSet(i + 1) {
+				gotNext = append(gotNext, i)
+			}
+			var gotEach []int64
+			bm.ForEach(func(i int64) { gotEach = append(gotEach, i) })
+			if len(gotNext) != len(want) || len(gotEach) != len(want) {
+				t.Fatalf("NextSet found %d, ForEach %d, model %d", len(gotNext), len(gotEach), len(want))
+			}
+			for i := range want {
+				if gotNext[i] != want[i] || gotEach[i] != want[i] {
+					t.Fatalf("bit %d: NextSet %d, ForEach %d, model %d", i, gotNext[i], gotEach[i], want[i])
+				}
+			}
+			if bm.Count() != int64(len(want)) {
+				t.Fatalf("Count = %d, model %d", bm.Count(), len(want))
+			}
+			if bm.Empty() != (len(want) == 0) {
+				t.Fatalf("Empty = %v with %d bits set", bm.Empty(), len(want))
+			}
+		}
+		check(a, ref)
+		check(b, refB)
+
+		a.Or(b)
+		for i := range ref {
+			ref[i] = ref[i] || refB[i]
+		}
+		check(a, ref)
+	})
+}
+
 // FuzzReadCSR: arbitrary bytes must never panic the deserializer, and
 // anything it accepts must validate.
 func FuzzReadCSR(f *testing.F) {

@@ -79,6 +79,19 @@ type FlowLink struct {
 	Bytes   int64     `json:"bytes"`
 }
 
+// StragglerFlag marks one node whose host-side level makespan exceeded
+// the all-node mean by the configured factor (core.Config.StragglerFactor)
+// — the load-imbalance signal distributed BFS work treats as the
+// first-order scaling hazard. Start places the flag at the level's start
+// on the run's modelled timeline.
+type StragglerFlag struct {
+	Node            int     `json:"node"`
+	Level           int     `json:"level"`
+	HostSeconds     float64 `json:"host_seconds"`
+	MeanHostSeconds float64 `json:"mean_host_seconds"`
+	Start           float64 `json:"start_seconds"`
+}
+
 // RunSpans is the module-level timeline of one rooted BFS.
 type RunSpans struct {
 	Root int64 `json:"root"`
@@ -89,6 +102,9 @@ type RunSpans struct {
 	Total float64      `json:"total_seconds"`
 	Spans []ModuleSpan `json:"spans"`
 	Flows []FlowLink   `json:"flows"`
+	// Stragglers carries the run's straggler flags; the Chrome export
+	// renders each as an instant event on the node's track.
+	Stragglers []StragglerFlag `json:"stragglers,omitempty"`
 }
 
 type flowKey struct {
@@ -135,10 +151,10 @@ func (r *SpanRecorder) Flow(level int, channel string, stage FlowStage, from, to
 }
 
 // EndRun seals the current run: the caller supplies the run's total
-// modelled seconds and its module spans (built post-run, when per-level
-// wall times are known). The buffered flow links are sorted into a
-// deterministic order.
-func (r *SpanRecorder) EndRun(total float64, spans []ModuleSpan) {
+// modelled seconds, its module spans (built post-run, when per-level
+// wall times are known) and any straggler flags raised during the run.
+// The buffered flow links are sorted into a deterministic order.
+func (r *SpanRecorder) EndRun(total float64, spans []ModuleSpan, stragglers []StragglerFlag) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.inRun {
@@ -168,11 +184,12 @@ func (r *SpanRecorder) EndRun(total float64, spans []ModuleSpan) {
 		return a.To < b.To
 	})
 	r.runs = append(r.runs, RunSpans{
-		Root:   r.curRoot,
-		Offset: r.offset,
-		Total:  total,
-		Spans:  spans,
-		Flows:  flows,
+		Root:       r.curRoot,
+		Offset:     r.offset,
+		Total:      total,
+		Spans:      spans,
+		Flows:      flows,
+		Stragglers: stragglers,
 	})
 	r.offset += total
 	r.inRun = false
@@ -202,6 +219,7 @@ type chromeEvent struct {
 	Tid  int            `json:"tid"`
 	ID   int            `json:"id,omitempty"`
 	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" thread)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -302,6 +320,20 @@ func WriteChromeTrace(w io.Writer, traces []RunTrace, spans []RunSpans) error {
 				Ts: (rs.Offset + sp.Start) * 1e6, Dur: sp.Dur * 1e6,
 				Pid: node + 1, Tid: track,
 				Args: args,
+			})
+		}
+		// Straggler flags become instant events on the node's generator
+		// track at the flagged level's start.
+		for _, sf := range rs.Stragglers {
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("straggler L%d", sf.Level), Cat: "straggler",
+				Ph: "i", S: "t",
+				Ts:  (rs.Offset + sf.Start) * 1e6,
+				Pid: sf.Node + 1, Tid: 0,
+				Args: map[string]any{
+					"host_seconds":      sf.HostSeconds,
+					"mean_host_seconds": sf.MeanHostSeconds,
+				},
 			})
 		}
 		for _, fl := range rs.Flows {

@@ -172,10 +172,10 @@ func TestSpanRecorderAggregation(t *testing.T) {
 	r.Flow(0, "forward", FlowStageOne, 0, 1, 50) // same key: aggregates
 	r.Flow(0, "forward", FlowStageTwo, 1, 2, 30)
 	r.Flow(1, "backward", FlowStageOne, 2, 0, 10)
-	r.EndRun(0.5, []ModuleSpan{{Node: 0, Module: ModuleForwardGenerator}})
+	r.EndRun(0.5, []ModuleSpan{{Node: 0, Module: ModuleForwardGenerator}}, nil)
 
 	r.BeginRun(9)
-	r.EndRun(0.25, nil)
+	r.EndRun(0.25, nil, nil)
 
 	runs := r.Runs()
 	if len(runs) != 2 {

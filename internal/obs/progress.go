@@ -11,6 +11,9 @@ const (
 	EventLevel = "level"
 	// EventRunDone announces a completed run with its headline results.
 	EventRunDone = "run-done"
+	// EventStraggler flags one node whose host-side level makespan
+	// exceeded the all-node mean by the configured straggler factor.
+	EventStraggler = "straggler"
 )
 
 // LiveEvent is one live progress update from a running BFS — what the
@@ -31,6 +34,12 @@ type LiveEvent struct {
 	// Result fields (EventRunDone only).
 	Visited int64   `json:"visited,omitempty"`
 	GTEPS   float64 `json:"gteps,omitempty"`
+
+	// Straggler fields (EventStraggler only): the flagged node, its
+	// host-side level time and the all-node mean it exceeded.
+	Node            int     `json:"node,omitempty"`
+	HostSeconds     float64 `json:"host_seconds,omitempty"`
+	MeanHostSeconds float64 `json:"mean_host_seconds,omitempty"`
 }
 
 // ProgressBroker fans LiveEvents out to any number of subscribers.

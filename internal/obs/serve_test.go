@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"swbfs/internal/testutil"
 )
 
 // TestMuxEndpoints smoke-tests every non-streaming endpoint on an
@@ -147,8 +149,10 @@ func TestServeEventsSSE(t *testing.T) {
 }
 
 // TestServeLifecycle checks the background Serve/Close path used by the
-// CLIs' -serve flag.
+// CLIs' -serve flag: Close must stop the listener and leave no server
+// goroutines behind.
 func TestServeLifecycle(t *testing.T) {
+	leak := testutil.CheckGoroutines(t)
 	o := New()
 	s, err := Serve("127.0.0.1:0", o)
 	if err != nil {
@@ -166,4 +170,8 @@ func TestServeLifecycle(t *testing.T) {
 	if _, err := http.Get(s.URL() + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
 	}
+	// The client's idle keep-alive connections hold goroutines of their
+	// own; release them so the leak check sees only the server's.
+	http.DefaultClient.CloseIdleConnections()
+	leak()
 }

@@ -191,8 +191,11 @@ type CompareReport struct {
 func (r *CompareReport) Regressed() bool { return len(r.Regressions) > 0 }
 
 // Compare matches scenarios by name and builds the per-metric delta
-// table. Only a GTEPS drop beyond threshold (relative) counts as a
-// regression — the other metrics are context for diagnosing it.
+// table. Three metrics gate: a GTEPS drop, a max_connections rise (MPI
+// memory is the paper's direct-transport crash mode) and an
+// avg_message_bytes drop (batching efficiency is the relay transport's
+// whole point), each beyond the relative threshold. The other metrics are
+// context for diagnosing a failure.
 func Compare(old, new_ *Snapshot, threshold float64) *CompareReport {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
@@ -232,6 +235,18 @@ func Compare(old, new_ *Snapshot, threshold float64) *CompareReport {
 				fmt.Sprintf("%s: GTEPS %.4f -> %.4f (%.1f%%, threshold -%.0f%%)",
 					ns.Name, os_.GTEPS, ns.GTEPS, (ns.GTEPS-os_.GTEPS)/os_.GTEPS*100, threshold*100))
 		}
+		if os_.MaxConnections > 0 && float64(ns.MaxConnections) > float64(os_.MaxConnections)*(1+threshold) {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s: max_connections %d -> %d (+%.1f%%, threshold +%.0f%%)",
+					ns.Name, os_.MaxConnections, ns.MaxConnections,
+					float64(ns.MaxConnections-os_.MaxConnections)/float64(os_.MaxConnections)*100, threshold*100))
+		}
+		if os_.AvgMessageBytes > 0 && ns.AvgMessageBytes < os_.AvgMessageBytes*(1-threshold) {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s: avg_message_bytes %.1f -> %.1f (%.1f%%, threshold -%.0f%%)",
+					ns.Name, os_.AvgMessageBytes, ns.AvgMessageBytes,
+					(ns.AvgMessageBytes-os_.AvgMessageBytes)/os_.AvgMessageBytes*100, threshold*100))
+		}
 	}
 	for _, os_ := range old.Scenarios {
 		if !seen[os_.Name] {
@@ -261,11 +276,11 @@ func (r *CompareReport) Write(w io.Writer) {
 		fmt.Fprintf(w, "unmatched scenario: %s\n", m)
 	}
 	if r.Regressed() {
-		fmt.Fprintf(w, "\nREGRESSION (GTEPS drop beyond %.0f%%):\n", r.Threshold*100)
+		fmt.Fprintf(w, "\nREGRESSION (gated metric beyond %.0f%%):\n", r.Threshold*100)
 		for _, reg := range r.Regressions {
 			fmt.Fprintf(w, "  %s\n", reg)
 		}
 	} else {
-		fmt.Fprintf(w, "\nok: no GTEPS regression beyond %.0f%%\n", r.Threshold*100)
+		fmt.Fprintf(w, "\nok: no gated regression beyond %.0f%%\n", r.Threshold*100)
 	}
 }

@@ -54,8 +54,52 @@ func TestCompareRegressionGate(t *testing.T) {
 	}
 	buf.Reset()
 	Compare(base, drift, DefaultThreshold).Write(&buf)
-	if !strings.Contains(buf.String(), "ok: no GTEPS regression") {
+	if !strings.Contains(buf.String(), "ok: no gated regression") {
 		t.Errorf("report missing ok verdict:\n%s", buf.String())
+	}
+}
+
+// TestCompareGatesConnectionAndBatching covers the two transport-health
+// gates: a max_connections rise beyond the threshold fails (the paper's
+// direct-transport MPI memory crash mode), an avg_message_bytes drop
+// beyond the threshold fails (batching efficiency), and within-threshold
+// drift in either direction passes.
+func TestCompareGatesConnectionAndBatching(t *testing.T) {
+	base := twoScenarioSnapshot(1.0, 0.5)
+
+	moreConns := twoScenarioSnapshot(1.0, 0.5)
+	moreConns.Scenarios[1].MaxConnections = 18 // 15 -> 18: +20%
+	rep := Compare(base, moreConns, DefaultThreshold)
+	if !rep.Regressed() {
+		t.Fatal("20% max_connections rise did not trip the 5% gate")
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "max_connections") {
+		t.Errorf("regressions = %v, want exactly one max_connections entry", rep.Regressions)
+	}
+
+	smallerBatches := twoScenarioSnapshot(1.0, 0.5)
+	smallerBatches.Scenarios[0].AvgMessageBytes = 80 // 100 -> 80: -20%
+	rep = Compare(base, smallerBatches, DefaultThreshold)
+	if !rep.Regressed() {
+		t.Fatal("20% avg_message_bytes drop did not trip the 5% gate")
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "avg_message_bytes") {
+		t.Errorf("regressions = %v, want exactly one avg_message_bytes entry", rep.Regressions)
+	}
+
+	drift := twoScenarioSnapshot(1.0, 0.5)
+	drift.Scenarios[1].MaxConnections = 15  // unchanged
+	drift.Scenarios[0].AvgMessageBytes = 97 // -3%: within threshold
+	drift.Scenarios[1].AvgMessageBytes = 52 // +4%: improvement
+	if rep := Compare(base, drift, DefaultThreshold); rep.Regressed() {
+		t.Errorf("within-threshold drift tripped the gate: %v", rep.Regressions)
+	}
+
+	better := twoScenarioSnapshot(1.0, 0.5)
+	better.Scenarios[1].MaxConnections = 8    // fewer connections
+	better.Scenarios[0].AvgMessageBytes = 140 // bigger batches
+	if rep := Compare(base, better, DefaultThreshold); rep.Regressed() {
+		t.Errorf("improvements tripped the gate: %v", rep.Regressions)
 	}
 }
 
