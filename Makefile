@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-snapshot bench-diff chaos fuzz
+.PHONY: build test check fmt vet race bench bench-snapshot bench-diff chaos fuzz docs-check
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: build, vet, formatting, full tests, and
-# the race-detector pass over the concurrency-heavy packages.
-check: build vet fmt test race
+# check is the pre-commit gate: build, vet, formatting, full tests, the
+# race-detector pass over the concurrency-heavy packages, and the
+# docs-vs-code lint.
+check: build vet fmt test race docs-check
 
 vet:
 	$(GO) vet ./...
@@ -22,11 +23,16 @@ fmt:
 # The second pass forces multi-core scheduling so the Workers>1 parity
 # tests race the sharded generators and handler fan-out for real.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/...
-	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/algos/...
+	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/ ./internal/algos/
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# docs-check fails when docs and code drift: broken intra-repo markdown
+# links, or a cmd/ flag no markdown file mentions.
+docs-check:
+	$(GO) run ./cmd/docscheck .
 
 # chaos sweeps the fault-injection harness (20 seeded random plans plus
 # the targeted fault scenarios) under the race detector. See docs/CHAOS.md.

@@ -11,6 +11,7 @@
 //
 //	benchtrend -compare BENCH_0.json BENCH_1.json
 //	benchtrend -compare-latest     # newest two BENCH_<n>.json in -dir
+//	benchtrend -history            # GTEPS sparkline over every snapshot
 //
 // See docs/OBSERVABILITY.md for the snapshot schema and workflow.
 package main
@@ -31,10 +32,20 @@ func main() {
 		threshold     = flag.Float64("threshold", trend.DefaultThreshold, "relative GTEPS drop that fails the comparison")
 		compare       = flag.Bool("compare", false, "compare two snapshot files given as arguments instead of running the sweep")
 		compareLatest = flag.Bool("compare-latest", false, "compare the newest two BENCH_<n>.json snapshots in -dir")
+		history       = flag.Bool("history", false, "print per-scenario GTEPS sparklines over every BENCH_<n>.json in -dir")
 	)
 	flag.Parse()
 
 	switch {
+	case *history:
+		if flag.NArg() != 0 {
+			fatalf("-history takes no arguments (set -dir)")
+		}
+		hist, err := trend.History(*dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		trend.WriteHistory(os.Stdout, hist)
 	case *compare:
 		if flag.NArg() != 2 {
 			fatalf("-compare needs exactly two snapshot files (old new)")

@@ -1,0 +1,162 @@
+// Command docscheck is the documentation lint `make docs-check` runs: it
+// fails the build when the docs and the code drift apart.
+//
+// Two checks, both purely static:
+//
+//  1. Every intra-repository markdown link resolves. All `[text](target)`
+//     links in every tracked .md file are checked against the filesystem
+//     (external http(s)/mailto links and pure #fragments are skipped;
+//     a target's #fragment is stripped before the existence check).
+//  2. Every CLI flag is documented. Each `flag.Xxx("name", ...)`
+//     registration under cmd/ must be mentioned as `-name` in at least
+//     one markdown file — a flag nobody can discover is a flag that
+//     doesn't exist.
+//
+// Usage: docscheck [repo-root]   (default ".")
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	// [text](target) — non-greedy, one line; images share the syntax.
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// String/Bool/Int/... flag registrations, including the *Var forms.
+	flagDecl = regexp.MustCompile(`\bflag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)(?:Var)?\(\s*(?:&\w+(?:\.\w+)*\s*,\s*)?"([^"]+)"`)
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	mdFiles, goFiles, err := collect(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	problems = append(problems, checkLinks(root, mdFiles)...)
+	problems = append(problems, checkFlags(root, mdFiles, goFiles)...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown files, %d cmd sources: OK\n", len(mdFiles), len(goFiles))
+}
+
+// collect walks the repo for markdown files (everywhere) and Go sources
+// under cmd/, skipping VCS and test fixture directories.
+func collect(root string) (md, goSrc []string, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(name, ".md"):
+			md = append(md, rel)
+		case strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			strings.HasPrefix(rel, "cmd"+string(filepath.Separator)):
+			goSrc = append(goSrc, rel)
+		}
+		return nil
+	})
+	sort.Strings(md)
+	sort.Strings(goSrc)
+	return md, goSrc, err
+}
+
+// checkLinks verifies every relative markdown link target exists.
+func checkLinks(root string, mdFiles []string) []string {
+	var problems []string
+	for _, rel := range mdFiles {
+		data, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue // same-file fragment
+				}
+			}
+			resolved := filepath.Join(root, filepath.Dir(rel), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+func skipLink(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "#"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFlags verifies every flag registered under cmd/ is mentioned as
+// `-name` somewhere in the markdown corpus.
+func checkFlags(root string, mdFiles, goFiles []string) []string {
+	var corpus strings.Builder
+	for _, rel := range mdFiles {
+		data, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			continue // already reported by checkLinks
+		}
+		corpus.Write(data)
+		corpus.WriteByte('\n')
+	}
+	docs := corpus.String()
+
+	var problems []string
+	for _, rel := range goFiles {
+		data, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		for _, m := range flagDecl.FindAllStringSubmatch(string(data), -1) {
+			name := m[1]
+			// A documented flag appears as -name followed by a
+			// non-flag-name character (space, =, punctuation, EOL).
+			mention := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `([^a-zA-Z0-9_-]|$)`)
+			if !mention.MatchString(docs) {
+				problems = append(problems, fmt.Sprintf("%s: flag -%s is not mentioned in any .md file", rel, name))
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeRepo lays out a minimal repository with one good link, one broken
+// link, one documented flag and one undocumented flag.
+func fakeRepo(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("README.md", "See [the guide](docs/GUIDE.md) and [gone](docs/MISSING.md).\nUse `-scale N` to size the graph.\n")
+	write("docs/GUIDE.md", "Back to [README](../README.md) and [section](#section) and [site](https://example.com/x.md).\n")
+	write("cmd/tool/main.go", `package main
+
+import "flag"
+
+var (
+	scale = flag.Int("scale", 16, "documented")
+	ghost = flag.Bool("ghost", false, "undocumented")
+)
+
+func main() { flag.Parse(); _ = scale; _ = ghost }
+`)
+	write("cmd/tool/main_test.go", `package main
+
+import "flag"
+
+var testOnly = flag.String("test-only", "", "test flags are exempt")
+`)
+	return root
+}
+
+func TestCollect(t *testing.T) {
+	root := fakeRepo(t)
+	md, goSrc, err := collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md) != 2 {
+		t.Fatalf("markdown files = %v, want 2", md)
+	}
+	if len(goSrc) != 1 || !strings.HasSuffix(goSrc[0], "main.go") {
+		t.Fatalf("cmd sources = %v, want just cmd/tool/main.go", goSrc)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	root := fakeRepo(t)
+	md, _, err := collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := checkLinks(root, md)
+	if len(problems) != 1 || !strings.Contains(problems[0], "docs/MISSING.md") {
+		t.Fatalf("link problems = %v, want one about docs/MISSING.md", problems)
+	}
+}
+
+func TestCheckFlags(t *testing.T) {
+	root := fakeRepo(t)
+	md, goSrc, err := collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := checkFlags(root, md, goSrc)
+	if len(problems) != 1 || !strings.Contains(problems[0], "-ghost") {
+		t.Fatalf("flag problems = %v, want one about -ghost", problems)
+	}
+}
+
+// TestRepoIsClean runs both checks over the real repository — the same
+// gate `make docs-check` applies.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	md, goSrc, err := collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := append(checkLinks(root, md), checkFlags(root, md, goSrc)...); len(problems) > 0 {
+		t.Fatalf("docs drift:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -134,6 +134,11 @@ func main() {
 			Machine:    machine,
 		})
 		if err != nil {
+			var ae *core.AbortError
+			if errors.As(err, &ae) {
+				printAbortReport(ae)
+				os.Exit(1)
+			}
 			fatalf("sssp benchmark failed: %v", err)
 		}
 		fmt.Printf("KERNEL:               sssp (delta=%d)\n", *delta)

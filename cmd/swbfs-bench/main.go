@@ -42,6 +42,7 @@ func main() {
 		format     = flag.String("format", "text", "output format: text | csv | json")
 		metrics    = flag.Bool("metrics", false, "print the unified metrics registry after the sweep (see docs/OBSERVABILITY.md)")
 		traceOut   = flag.String("trace-out", "", "write the structured per-level BFS traces of all functional runs as JSON to this file")
+		chromeOut  = flag.String("chrome-trace", "", "write the sweep's run timelines (per-node module tracks) as Chrome trace-event JSON to this file")
 		serveAddr  = flag.String("serve", "", "serve live telemetry on this address during the sweep: /metrics (Prometheus), /traces, /events (SSE), /debug/pprof")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
@@ -71,9 +72,12 @@ func main() {
 	}
 
 	var observer *obs.Observer
-	if *metrics || *traceOut != "" || *serveAddr != "" {
+	if *metrics || *traceOut != "" || *serveAddr != "" || *chromeOut != "" {
 		observer = obs.New()
 		experiments.SetObserver(observer)
+	}
+	if *chromeOut != "" {
+		observer.Spans = obs.NewSpanRecorder()
 	}
 	var server *obs.Server
 	if *serveAddr != "" {
@@ -223,6 +227,20 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatalf("writing trace: %v", err)
 			}
+		}
+		if *chromeOut != "" {
+			f, err := os.Create(*chromeOut)
+			if err != nil {
+				fatalf("writing chrome trace: %v", err)
+			}
+			if err := obs.WriteChromeTrace(f, observer.Trace.Runs(), observer.Spans.Runs()); err != nil {
+				f.Close()
+				fatalf("writing chrome trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("writing chrome trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "swbfs-bench: chrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *chromeOut)
 		}
 	}
 	if server != nil {

@@ -1,0 +1,48 @@
+// Command tracediff aligns two recorded benchmark traces level by level and
+// prints a per-level / per-module delta table. Both export formats are
+// accepted on either side: the Chrome trace-event JSON written by the
+// -chrome-trace flags and the {"runs": [...]} dump written by -trace-out or
+// served at /traces. See docs/OBSERVABILITY.md.
+//
+// Usage:
+//
+//	tracediff before.json after.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"swbfs/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff <a.json> <b.json>")
+		os.Exit(2)
+	}
+	a, err := readSummaries(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+	b, err := readSummaries(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+	obs.WriteTraceDiff(os.Stdout, a, b, os.Args[1], os.Args[2])
+}
+
+func readSummaries(path string) ([]obs.RunSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := obs.ReadRunSummaries(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return runs, nil
+}

@@ -2,13 +2,17 @@
 // a direct beneficiary of its techniques ("the key operations of the
 // distributed BFS can be viewed as shuffling dynamically generated data").
 // This example runs weighted single-source shortest paths on the simulated
-// machine, cross-checks against BFS hop counts, and shows the relay
-// transport's connection savings applying unchanged.
+// machine with live per-iteration progress, cross-checks against BFS hop
+// counts, and shows the abort contract: a run torn down mid-flight (chaos
+// kill, watchdog timeout) surfaces an AbortError instead of silently
+// returning partial distances — this program reports it and exits nonzero.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"swbfs"
 )
@@ -26,11 +30,28 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d weighted undirected edges; source %d\n",
 		g.N, g.NumEdges()/2, root)
 
+	// Live progress: every Bellman-Ford iteration publishes an event with
+	// the round's global frontier size — the same stream the telemetry
+	// server's /events endpoint serves.
 	cfg := swbfs.DefaultMachine(8)
+	cfg.Obs = swbfs.NewObserver()
+	cfg.Obs.Progress = swbfs.NewProgressBroker()
+	events, cancel := cfg.Obs.Progress.Subscribe(4096)
+	defer cancel()
+
 	res, err := swbfs.SSSP(cfg, wg, root)
 	if err != nil {
+		// An aborted run has no usable distances. Report the partial
+		// progress the machine made and fail loudly.
+		var ae *swbfs.AbortError
+		if errors.As(err, &ae) {
+			fmt.Fprintf(os.Stderr, "sssp: run from root %d ABORTED after %d completed iterations: %v\n",
+				ae.Root, len(ae.CompletedLevels), ae.Cause)
+			os.Exit(1)
+		}
 		log.Fatal(err)
 	}
+	drainProgress(events)
 
 	// Distance distribution.
 	var reached int64
@@ -74,4 +95,22 @@ func main() {
 		}
 	}
 	fmt.Println("cross-check against BFS hop counts: OK")
+}
+
+// drainProgress prints the buffered iteration events of the completed run:
+// the relax wavefront growing, peaking and draining.
+func drainProgress(events <-chan swbfs.LiveEvent) {
+	for {
+		select {
+		case ev := <-events:
+			switch ev.Kind {
+			case swbfs.EventLevel:
+				fmt.Printf("  iteration %-3d frontier %d active vertices\n", ev.Level, ev.FrontierVertices)
+			case swbfs.EventRunDone:
+				fmt.Printf("  done: %.4f modelled GTEPS\n", ev.GTEPS)
+			}
+		default:
+			return
+		}
+	}
 }

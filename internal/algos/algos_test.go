@@ -328,7 +328,7 @@ func TestRelayBenefitsAlgorithms(t *testing.T) {
 func TestRunGuards(t *testing.T) {
 	g := kron(t, 6, 1)
 	// Non-converging algorithm trips the round guard.
-	_, err := Run(machine(2, core.TransportDirect), g, 5, func(ctx *NodeCtx) (RoundAlgo, error) {
+	_, err := Run(machine(2, core.TransportDirect), g, RunOptions{MaxRounds: 5, Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		return &neverConverges{}, nil
 	})
 	if err == nil {
@@ -337,7 +337,7 @@ func TestRunGuards(t *testing.T) {
 	// Impossible machine config propagates.
 	bad := machine(512, core.TransportDirect)
 	bad.Engine = perf.EngineCPE
-	if _, err := Run(bad, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	if _, err := Run(bad, g, RunOptions{Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		return &neverConverges{}, nil
 	}); err == nil {
 		t.Fatal("impossible machine accepted")

@@ -66,7 +66,7 @@ func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResu
 		}
 	}
 	nodes := make([]*bcNode, cfg.Nodes)
-	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "betweenness", Root: sources[0]}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		bn := &bcNode{
 			ctx:     ctx,

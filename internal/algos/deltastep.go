@@ -2,6 +2,7 @@ package algos
 
 import (
 	"fmt"
+	"sort"
 
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
@@ -71,7 +72,7 @@ func DeltaSSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, delta 
 		}
 	}
 	nodes := make([]*deltaNode, cfg.Nodes)
-	info, err := Run(cfg, wg.CSR, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "delta-sssp", Root: root}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		dn := &deltaNode{
 			ctx:      ctx,
@@ -146,7 +147,7 @@ func (d *deltaNode) Generate(round int, send Send) error {
 	case phaseLight:
 		req := d.lightReq
 		d.lightReq = make(map[int64]struct{})
-		for local := range req {
+		for _, local := range sortedLocals(req) {
 			// Only relax if the vertex still belongs to the bucket (it
 			// may have improved into an earlier, already-closed one —
 			// then its edges were or will be handled there).
@@ -159,7 +160,7 @@ func (d *deltaNode) Generate(round int, send Send) error {
 	case phaseHeavy:
 		set := d.heavySet
 		d.heavySet = make(map[int64]struct{})
-		for local := range set {
+		for _, local := range sortedLocals(set) {
 			if d.bucketOf(d.dist[local]) == d.curBucket {
 				if err := relax(local, false); err != nil {
 					return err
@@ -168,6 +169,20 @@ func (d *deltaNode) Generate(round int, send Send) error {
 		}
 	}
 	return nil
+}
+
+// sortedLocals flattens a request set into ascending vertex order. The
+// kernel contract (docs/ALGORITHMS.md) requires a deterministic send order:
+// on the relay transport, batch envelopes pack messages bound for different
+// destinations together, so even per-destination-stable orders are not
+// enough — map iteration order would leak into the modelled byte counts.
+func sortedLocals(set map[int64]struct{}) []int64 {
+	out := make([]int64, 0, len(set))
+	for local := range set {
+		out = append(out, local)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (d *deltaNode) Handle(round int, pairs []comm.Pair) error {
@@ -198,13 +213,7 @@ func (d *deltaNode) EndRound(round int) error {
 		}
 	case phaseHeavy:
 		// Advance to the smallest non-empty bucket beyond the current one.
-		localNext := int64(-1)
-		for local := int64(0); local < d.ctx.Sub.NumVertices(); local++ {
-			b := d.bucketOf(d.dist[local])
-			if b > d.curBucket && (localNext == -1 || b < localNext) {
-				localNext = b
-			}
-		}
+		localNext := d.nextBucket()
 		// Global min via negated max; -1 (none) maps to MinInt sentinel.
 		contrib := int64(-1 << 62)
 		if localNext >= 0 {
@@ -217,12 +226,54 @@ func (d *deltaNode) EndRound(round int) error {
 		}
 		d.curBucket = next
 		d.phase = phaseLight
-		for local := int64(0); local < d.ctx.Sub.NumVertices(); local++ {
-			if d.bucketOf(d.dist[local]) == d.curBucket {
-				d.lightReq[local] = struct{}{}
-				d.heavySet[local] = struct{}{}
-			}
-		}
+		d.fillBucket()
 	}
 	return nil
+}
+
+// nextBucket scans all local vertices for the smallest bucket beyond the
+// current one, fanning the scan across ctx.Workers. The min-fold is
+// order-independent, so the result is identical for every width.
+func (d *deltaNode) nextBucket() int64 {
+	n := d.ctx.Sub.NumVertices()
+	mins := make([]int64, d.ctx.Workers)
+	forEachShard(n, d.ctx.Workers, func(shard int, lo, hi int64) {
+		min := int64(-1)
+		for local := lo; local < hi; local++ {
+			b := d.bucketOf(d.dist[local])
+			if b > d.curBucket && (min == -1 || b < min) {
+				min = b
+			}
+		}
+		mins[shard] = min
+	})
+	next := int64(-1)
+	for _, m := range mins {
+		if m >= 0 && (next == -1 || m < next) {
+			next = m
+		}
+	}
+	return next
+}
+
+// fillBucket seeds the light/heavy request sets with the members of the
+// freshly opened bucket. Workers collect members over contiguous vertex
+// shards; the node goroutine folds them into the maps (set contents are
+// order-independent, so any fold order gives identical state).
+func (d *deltaNode) fillBucket() {
+	n := d.ctx.Sub.NumVertices()
+	members := make([][]int64, d.ctx.Workers)
+	forEachShard(n, d.ctx.Workers, func(shard int, lo, hi int64) {
+		for local := lo; local < hi; local++ {
+			if d.bucketOf(d.dist[local]) == d.curBucket {
+				members[shard] = append(members[shard], local)
+			}
+		}
+	})
+	for _, shard := range members {
+		for _, local := range shard {
+			d.lightReq[local] = struct{}{}
+			d.heavySet[local] = struct{}{}
+		}
+	}
 }

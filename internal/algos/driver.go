@@ -7,23 +7,34 @@
 //
 // Every algorithm here runs on exactly the same substrate as the BFS
 // engine — the comm transports (direct or group-batched relay), the
-// fat-tree traffic accounting and the perf timing model — via a shared
-// round-synchronous SPMD driver: each round, every node generates
-// messages from its active vertices, the transport batches and delivers
-// them, handlers fold them into local state, and a sum-allreduce decides
-// termination.
+// fat-tree traffic accounting, the perf timing model, the chaos fault
+// injector and the observability sinks — via a shared round-synchronous
+// SPMD driver: each round, every node generates messages from its active
+// vertices, the transport batches and delivers them, handlers fold them
+// into local state, and a sum-allreduce decides termination.
+//
+// The driver mirrors the BFS runner's operational contract (see
+// docs/ALGORITHMS.md): live per-round events on the ProgressBroker, a
+// reconciling RunTrace plus generator/handler module spans per run,
+// chaos-injected faults with bounded retries, a per-round watchdog, and
+// clean *core.AbortError teardown with the completed rounds attached.
 package algos
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/fabric"
 	"swbfs/internal/graph"
+	"swbfs/internal/obs"
 	"swbfs/internal/perf"
+	"swbfs/internal/sw"
 )
 
 // DefaultMaxRounds guards against non-converging algorithm bugs.
@@ -38,6 +49,11 @@ type NodeCtx struct {
 	Part graph.Partition
 	Sub  *graph.LocalSubgraph
 	Net  *comm.Network // collectives (all nodes must call symmetrically)
+	// Workers is the resolved host worker-pool width (core.Config.Workers
+	// with defaults applied) a kernel's hot loops may fan out over. The
+	// contract is bit-identical output for every width — see the worker
+	// parity rules in docs/ALGORITHMS.md.
+	Workers int
 }
 
 // Global converts a local vertex index to its global ID.
@@ -61,6 +77,20 @@ type RoundAlgo interface {
 	EndRound(round int) error
 }
 
+// RunOptions identifies and bounds one driver run.
+type RunOptions struct {
+	// MaxRounds guards against non-convergence (<= 0 selects
+	// DefaultMaxRounds).
+	MaxRounds int
+	// Kernel names the algorithm for live events, metrics and abort
+	// reports ("sssp", "wcc", ...).
+	Kernel string
+	// Root is the run's identity vertex, threaded into live events,
+	// recorded traces and AbortError. Rootless kernels (WCC, PageRank,
+	// K-core) pass graph.NoVertex.
+	Root graph.Vertex
+}
+
 // RunInfo is the machine-level outcome of a run.
 type RunInfo struct {
 	Rounds int
@@ -71,6 +101,9 @@ type RunInfo struct {
 	NetworkBytes, NetworkMessages int64
 	// MaxConnections is the peak per-node MPI connection count.
 	MaxConnections int
+	// Injections is the deterministically sorted log of the faults the
+	// chaos injector fired during the run; nil without a chaos plan.
+	Injections []chaos.Fault
 }
 
 // MTEPS returns millions of traversed edges per second for `edges`
@@ -82,16 +115,61 @@ func (r *RunInfo) MTEPS(edges int64) float64 {
 	return float64(edges) / r.Time / 1e6
 }
 
+// runState is the cross-node shared state of one driver run.
+type runState struct {
+	mu   sync.Mutex
+	info *RunInfo
+	// lastSnap is node 0's counter snapshot after the final recorded
+	// round; the delta to the end-of-run totals is the termination
+	// traffic (the final emptiness allreduce) the trace reports
+	// separately so its books balance.
+	lastSnap fabric.Snapshot
+	// roundTick feeds the watchdog: node 0 advances it once per
+	// completed round.
+	roundTick atomic.Int64
+}
+
 // Run executes one algorithm on the simulated machine described by cfg
-// over graph g. makeAlgo constructs each node's instance. maxRounds <= 0
-// selects DefaultMaxRounds.
-func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCtx) (RoundAlgo, error)) (*RunInfo, error) {
+// over graph g. makeAlgo constructs each node's instance.
+//
+// The run is driven through the same instrumented, chaos-aware path as
+// the BFS engine: cfg.Chaos faults inject into every send, cfg.LevelTimeout
+// arms a per-round watchdog, cfg.Obs receives live round events, a
+// reconciling RunTrace and module spans, and a torn-down run returns a
+// *core.AbortError carrying the original cause and the completed rounds.
+func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *NodeCtx) (RoundAlgo, error)) (*RunInfo, error) {
 	if err := core.ValidateConfig(cfg); err != nil {
 		return nil, err
 	}
+	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
+	kernel := opts.Kernel
+	if kernel == "" {
+		kernel = "algo"
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = sw.DefaultWorkers(cfg.Nodes)
+	}
+	workers = sw.ClampWorkers(workers)
+
+	if pb := cfg.Obs.ProgressOf(); pb != nil {
+		pb.Publish(obs.LiveEvent{Kind: obs.EventRunStart, Root: int64(opts.Root), Kernel: kernel})
+	}
+	if sr := cfg.Obs.SpansOf(); sr != nil {
+		sr.BeginRun(int64(opts.Root))
+	}
+
+	// The injector is rebuilt per run so every Run against the same plan
+	// replays the same faults — the determinism contract of docs/CHAOS.md,
+	// identical to the BFS runner's per-root rebuild.
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		inj = chaos.NewInjector(*cfg.Chaos, cfg.Obs.MetricsOf())
+	}
+
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
 	net, err := comm.NewNetwork(comm.Config{
 		Nodes:           cfg.Nodes,
@@ -99,6 +177,7 @@ func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCt
 		BatchBytes:      cfg.BatchBytes,
 		MPIMemoryBudget: cfg.MPIMemoryBudget,
 		Codec:           cfg.Codec,
+		Chaos:           inj,
 	})
 	if err != nil {
 		return nil, err
@@ -121,13 +200,15 @@ func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCt
 		}
 	}
 
+	st := &runState{info: &RunInfo{}}
 	nodes := make([]*nodeRun, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		ctx := &NodeCtx{
-			ID:   i,
-			Part: part,
-			Sub:  graph.ExtractLocal(g, part, i),
-			Net:  net,
+			ID:      i,
+			Part:    part,
+			Sub:     graph.ExtractLocal(g, part, i),
+			Net:     net,
+			Workers: workers,
 		}
 		algo, err := makeAlgo(ctx)
 		if err != nil {
@@ -135,35 +216,100 @@ func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCt
 		}
 		var ep comm.Endpoint
 		if cfg.Transport == core.TransportRelay {
-			ep, err = comm.NewRelayEndpoint(net, i, shape)
+			rep, err := comm.NewRelayEndpoint(net, i, shape)
 			if err != nil {
 				return nil, err
 			}
+			rep.SetFlowSink(cfg.Obs.SpansOf())
+			ep = rep
 		} else {
 			ep = comm.NewDirectEndpoint(net, i)
 		}
-		nodes[i] = &nodeRun{ctx: ctx, algo: algo, ep: ep, net: net, maxRounds: maxRounds}
+		nodes[i] = &nodeRun{
+			ctx: ctx, algo: algo, ep: ep, net: net, st: st,
+			maxRounds: maxRounds,
+			kernel:    kernel,
+			root:      int64(opts.Root),
+			progress:  cfg.Obs.ProgressOf(),
+			keepSpans: cfg.Obs.SpansOf() != nil,
+		}
 	}
 
-	info := &RunInfo{}
-	var mu sync.Mutex
+	// Per-round watchdog: if node 0's tick stops advancing for a whole
+	// timeout window, poison the network so every blocked module unwinds —
+	// the same recovery knob the BFS runner arms (core.ErrLevelTimeout).
+	var watchdogErr chan error
+	var watchdogStop chan struct{}
+	if cfg.LevelTimeout > 0 {
+		watchdogErr = make(chan error, 1)
+		watchdogStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(cfg.LevelTimeout)
+			defer t.Stop()
+			last := st.roundTick.Load()
+			for {
+				select {
+				case <-watchdogStop:
+					return
+				case <-t.C:
+					cur := st.roundTick.Load()
+					if cur != last {
+						last = cur
+						continue
+					}
+					watchdogErr <- fmt.Errorf("%w: no round completed within %s",
+						core.ErrLevelTimeout, cfg.LevelTimeout)
+					net.Abort()
+					return
+				}
+			}
+		}()
+	}
+
 	errs := make([]error, cfg.Nodes)
 	var wg sync.WaitGroup
 	for i := range nodes {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = nodes[i].loop(info, &mu)
+			errs[i] = nodes[i].loop()
 		}(i)
 	}
 	wg.Wait()
+	if watchdogStop != nil {
+		close(watchdogStop)
+	}
+
+	info := st.info
+	// Consequence errors (errAborted from a peer's teardown, comm
+	// inbox-closed errors wrapping comm.ErrAborted) are filtered so the
+	// original failure surfaces as the abort cause.
+	var cause error
+	aborted := net.Aborted()
 	for _, err := range errs {
-		if err != nil && !errors.Is(err, errAborted) {
-			return nil, err
+		if err == nil {
+			continue
+		}
+		aborted = true
+		if cause == nil && !errors.Is(err, errAborted) && !errors.Is(err, comm.ErrAborted) {
+			cause = err
 		}
 	}
-	if net.Aborted() {
-		return nil, fmt.Errorf("algos: run aborted without a reported cause")
+	if aborted {
+		if cause == nil && watchdogErr != nil {
+			select {
+			case cause = <-watchdogErr:
+			default:
+			}
+		}
+		if cause == nil {
+			cause = errors.New("algos: run aborted without a reported cause")
+		}
+		return nil, &core.AbortError{
+			Root:            opts.Root,
+			Cause:           cause,
+			CompletedLevels: append([]perf.LevelStats(nil), info.Levels...),
+		}
 	}
 
 	model := perf.NewModel(net.Topo, cfg.Engine)
@@ -172,12 +318,120 @@ func Run(cfg core.Config, g *graph.CSR, maxRounds int, makeAlgo func(ctx *NodeCt
 	info.NetworkBytes = net.Counters.NetworkBytes()
 	info.NetworkMessages = net.Counters.NetworkMessages()
 	info.MaxConnections = net.MaxConnectionCount()
+	if inj != nil {
+		info.Injections = inj.Log()
+	}
+
 	if m := cfg.Obs.MetricsOf(); m != nil {
 		m.Counter("algos.runs").Inc()
 		m.Counter("algos.rounds").Add(int64(info.Rounds))
+		m.Counter("algos." + kernel + ".runs").Inc()
+		m.Gauge("algos.workers").Set(int64(workers))
 		net.MetricsInto(m)
 	}
+	if t := cfg.Obs.TraceOf(); t != nil {
+		final := net.Counters.Snapshot()
+		term := final.Sub(st.lastSnap)
+		t.Record(buildTrace(opts, info, model, final, term))
+	}
+	if sr := cfg.Obs.SpansOf(); sr != nil {
+		sr.EndRun(info.Time, buildSpans(cfg.Engine, model, info, nodes, workers), nil)
+	}
+	if pb := cfg.Obs.ProgressOf(); pb != nil {
+		var edges int64
+		for _, s := range info.Levels {
+			edges += s.FrontierEdges
+		}
+		pb.Publish(obs.LiveEvent{
+			Kind: obs.EventRunDone, Root: int64(opts.Root), Kernel: kernel,
+			GTEPS: info.MTEPS(edges) / 1e3,
+		})
+	}
 	return info, nil
+}
+
+// buildTrace converts the run's per-round statistics into a RunTrace whose
+// books balance (RunTrace.Reconcile): round wall times sum to the run's
+// total and round byte counts plus termination traffic sum to the fabric's
+// grand total.
+func buildTrace(opts RunOptions, info *RunInfo, model perf.Model, final, term fabric.Snapshot) obs.RunTrace {
+	rt := obs.RunTrace{
+		Root:         int64(opts.Root),
+		TotalSeconds: info.Time,
+
+		TerminationCollectiveBytes: term.CollectiveBytes,
+		TerminationWireBytes:       term.NetworkBytes(),
+		TotalNetworkBytes:          final.NetworkBytes(),
+	}
+	rt.Levels = make([]obs.LevelSpan, 0, len(info.Levels))
+	for _, s := range info.Levels {
+		rt.Levels = append(rt.Levels, obs.LevelSpan{
+			Level:            s.Level,
+			Direction:        s.Direction,
+			FrontierVertices: s.FrontierVertices,
+			EdgesRelaxed:     s.FrontierEdges,
+			WallSeconds:      model.LevelTime(s),
+			Rounds:           s.Rounds,
+
+			LoopbackBytes:   s.Net.Bytes[fabric.Loopback],
+			IntraSuperBytes: s.Net.Bytes[fabric.IntraSuper],
+			InterSuperBytes: s.Net.Bytes[fabric.InterSuper],
+
+			CollectiveBytes:     s.Net.CollectiveBytes,
+			CollectiveWireBytes: s.Net.CollectiveWireBytes(),
+			CollectiveOps:       s.Net.CollectiveOps,
+
+			NetworkBytes:    s.Net.NetworkBytes(),
+			NetworkMessages: s.Net.Messages[fabric.IntraSuper] + s.Net.Messages[fabric.InterSuper],
+
+			MaxNodeProcessedBytes: s.MaxNodeProcessedBytes,
+			MaxNodeSentBytes:      s.MaxNodeSentBytes,
+		})
+	}
+	return rt
+}
+
+// buildSpans lays the run's per-node generator/handler work out on the
+// modelled timeline, exactly as the BFS runner does for its module
+// goroutines: each round's spans start at the round's start and last
+// bytes/bandwidth at the configured engine's module bandwidth.
+func buildSpans(engine perf.Engine, model perf.Model, info *RunInfo, nodes []*nodeRun, workers int) []obs.ModuleSpan {
+	bw := engine.Bandwidth()
+	attributed := 0
+	if workers > 1 {
+		attributed = workers // attribute pool width only when fanned out
+	}
+	var spans []obs.ModuleSpan
+	levelStart := 0.0
+	for li, s := range info.Levels {
+		for _, n := range nodes {
+			if li >= len(n.spanLog) {
+				continue
+			}
+			rw := n.spanLog[li]
+			if rw.gen > 0 {
+				spans = append(spans, obs.ModuleSpan{
+					Node: n.ctx.ID, Module: obs.ModuleForwardGenerator, Level: rw.round,
+					Start: levelStart, Dur: float64(rw.gen) / bw, Bytes: rw.gen,
+					Workers: attributed,
+				})
+			}
+			if rw.handler > 0 {
+				spans = append(spans, obs.ModuleSpan{
+					Node: n.ctx.ID, Module: obs.ModuleForwardHandler, Level: rw.round,
+					Start: levelStart, Dur: float64(rw.handler) / bw, Bytes: rw.handler,
+				})
+			}
+		}
+		levelStart += model.LevelTime(s)
+	}
+	return spans
+}
+
+// roundWork is one node's module byte counts for one completed round.
+type roundWork struct {
+	round        int
+	gen, handler int64
 }
 
 // nodeRun drives one node's SPMD loop.
@@ -186,15 +440,35 @@ type nodeRun struct {
 	algo      RoundAlgo
 	ep        comm.Endpoint
 	net       *comm.Network
+	st        *runState
 	maxRounds int
+
+	kernel   string
+	root     int64
+	progress *obs.ProgressBroker
+
+	keepSpans bool
+	spanLog   []roundWork
 }
 
-func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
+func (n *nodeRun) loop() error {
+	info := n.st.info
 	for round := 0; ; round++ {
 		if round >= n.maxRounds {
 			n.net.Abort()
 			return fmt.Errorf("algos: node %d exceeded %d rounds without converging", n.ctx.ID, n.maxRounds)
 		}
+
+		// Node 0 opens the round's accounting window before the activity
+		// allreduce, so every byte of the round — termination check, data,
+		// post-round statistics — lands in exactly one round's delta. (The
+		// window is safe: no peer traffic can be recorded before node 0
+		// joins the allreduce below.)
+		var before fabric.Snapshot
+		if n.ctx.ID == 0 {
+			before = n.net.Counters.Snapshot()
+		}
+
 		active := n.net.AllreduceSum(n.algo.Active())
 		if n.net.Aborted() {
 			return errAborted
@@ -203,10 +477,14 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 			return nil
 		}
 
-		var before fabric.Snapshot
-		if n.ctx.ID == 0 {
-			before = n.net.Counters.Snapshot()
+		if n.ctx.ID == 0 && n.progress != nil {
+			n.progress.Publish(obs.LiveEvent{
+				Kind: obs.EventLevel, Root: n.root, Kernel: n.kernel,
+				Level: round, Direction: "round",
+				FrontierVertices: active,
+			})
 		}
+
 		sentMsgs0, sentBytes0 := n.net.NodeSent(n.ctx.ID)
 
 		n.ep.StartLevel(round, comm.ChanForward)
@@ -220,6 +498,9 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 			sentPairs++
 			return n.ep.Send(comm.ChanForward, dst, p)
 		}
+		if d := n.net.ChaosDelay(chaos.KindDelayGenerator, n.ctx.ID, round); d > 0 {
+			time.Sleep(d)
+		}
 		if err := n.algo.Generate(round, send); err != nil {
 			n.net.Abort()
 			return err
@@ -227,6 +508,9 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 		if err := n.ep.CloseChannel(comm.ChanForward); err != nil {
 			n.net.Abort()
 			return err
+		}
+		if d := n.net.ChaosDelay(chaos.KindDelayHandler, n.ctx.ID, round); d > 0 {
+			time.Sleep(d)
 		}
 	recvLoop:
 		for {
@@ -258,8 +542,16 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 		maxSent := n.net.AllreduceMax(sentBytes1 - sentBytes0)
 		maxMsgs := n.net.AllreduceMax(sentMsgs1 - sentMsgs0)
 		maxBatches := n.net.AllreduceMax(batches + 1)
+		sumPairs := n.net.AllreduceSum(sentPairs)
 		if n.net.Aborted() {
 			return errAborted
+		}
+		if n.keepSpans {
+			n.spanLog = append(n.spanLog, roundWork{
+				round:   round,
+				gen:     sentPairs * comm.PairBytes,
+				handler: recvPairs * comm.PairBytes,
+			})
 		}
 		if n.ctx.ID == 0 {
 			after := n.net.Counters.Snapshot()
@@ -267,10 +559,12 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 			if n.ep.Mode() == "relay" {
 				rounds = 2
 			}
-			mu.Lock()
+			n.st.mu.Lock()
 			info.Levels = append(info.Levels, perf.LevelStats{
 				Level:                 round,
 				Direction:             "round",
+				FrontierVertices:      active,
+				FrontierEdges:         sumPairs,
 				MaxNodeProcessedBytes: maxProcessed,
 				MaxNodeSentBytes:      maxSent,
 				MaxNodeMessages:       maxMsgs,
@@ -278,7 +572,9 @@ func (n *nodeRun) loop(info *RunInfo, mu *sync.Mutex) error {
 				Net:                   after.Sub(before),
 				Rounds:                rounds,
 			})
-			mu.Unlock()
+			n.st.lastSnap = after
+			n.st.mu.Unlock()
+			n.st.roundTick.Add(1) // feed the watchdog: this round completed
 		}
 	}
 }

@@ -36,7 +36,7 @@ func KCore(cfg core.Config, g *graph.CSR, k int64) (*KCoreResult, error) {
 		return nil, fmt.Errorf("algos: k must be >= 1, got %d", k)
 	}
 	nodes := make([]*kcoreNode, cfg.Nodes)
-	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "kcore", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		kn := &kcoreNode{
 			ctx:    ctx,

@@ -51,7 +51,7 @@ func PageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64) (*
 		return nil, fmt.Errorf("algos: damping %v out of [0, 1)", damping)
 	}
 	nodes := make([]*prNode, cfg.Nodes)
-	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "pagerank", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		nLocal := ctx.Sub.NumVertices()
 		pn := &prNode{
 			ctx:        ctx,

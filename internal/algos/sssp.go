@@ -37,7 +37,7 @@ func SSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex) (*SSSPResul
 		return nil, fmt.Errorf("algos: SSSP root %d out of range", root)
 	}
 	nodes := make([]*ssspNode, cfg.Nodes)
-	info, err := Run(cfg, wg.CSR, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "sssp", Root: root}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		sn := &ssspNode{
 			ctx:     ctx,
@@ -75,6 +75,9 @@ func SSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex) (*SSSPResul
 func (s *ssspNode) Active() int64 { return s.pending }
 
 func (s *ssspNode) Generate(round int, send Send) error {
+	if k := s.ctx.Workers; k > 1 {
+		return s.generateParallel(k, send)
+	}
 	var failed error
 	s.active.ForEach(func(local int64) {
 		if failed != nil {
@@ -94,6 +97,36 @@ func (s *ssspNode) Generate(round int, send Send) error {
 	s.active.Reset()
 	s.pending = 0
 	return failed
+}
+
+// generateParallel is the worker-pool relax loop: k workers scan
+// word-aligned shards of the frontier bitmap concurrently, staging
+// (destination, message) privately; the node goroutine then replays the
+// stages in shard order, which equals the serial scan order — so every
+// modelled number is bit-identical across widths (see docs/ALGORITHMS.md).
+func (s *ssspNode) generateParallel(k int, send Send) error {
+	staged := make([][]stagedPair, k)
+	scanShards(s.active, k, func(shard int, local int64) {
+		d := s.dist[local]
+		lo, hi := s.ctx.Sub.RowPtr[local], s.ctx.Sub.RowPtr[local+1]
+		for i := lo; i < hi; i++ {
+			u := s.ctx.Sub.Col[i]
+			staged[shard] = append(staged[shard], stagedPair{
+				dst:  s.ctx.Part.Owner(u),
+				pair: comm.Pair{u, graph.Vertex(d + s.weights[i])},
+			})
+		}
+	})
+	s.active.Reset()
+	s.pending = 0
+	for _, shard := range staged {
+		for _, sp := range shard {
+			if err := send(sp.dst, sp.pair); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (s *ssspNode) Handle(round int, pairs []comm.Pair) error {

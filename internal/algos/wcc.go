@@ -29,7 +29,7 @@ type WCCResult struct {
 // WCC computes weakly connected components on the simulated machine.
 func WCC(cfg core.Config, g *graph.CSR) (*WCCResult, error) {
 	nodes := make([]*wccNode, cfg.Nodes)
-	info, err := Run(cfg, g, 0, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "wcc", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		wn := &wccNode{
 			ctx:    ctx,

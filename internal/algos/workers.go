@@ -1,0 +1,99 @@
+package algos
+
+import (
+	"math/bits"
+	"sync"
+
+	"swbfs/internal/comm"
+	"swbfs/internal/graph"
+)
+
+// Worker fan-out for the kernel hot loops, under the same parity contract
+// as the BFS engine's pools (internal/core/workers.go): any parallelism is
+// host-side only and must leave every modelled number bit-identical to the
+// serial path. The recipe here is the simplest one that guarantees it —
+// workers own contiguous shards of the scan domain and stage their output
+// privately; the caller replays the stages in shard order on its own
+// goroutine, so the per-destination message sequence (and therefore every
+// batch boundary, fault coordinate and modelled byte) equals the serial
+// scan's, and the transports' single-writer stream invariant holds.
+
+// stagedPair is one queued message of a parallel generator shard.
+type stagedPair struct {
+	dst  int
+	pair comm.Pair
+}
+
+// scanShards splits the bitmap's words into k contiguous shards and scans
+// them concurrently, one goroutine per shard, calling visit(shard, local)
+// in ascending local order within each shard. Shards are word-aligned, so
+// concatenating the shards in order reproduces the serial ForEach order.
+// visit runs concurrently across shards and must only touch shard-private
+// state.
+func scanShards(bm *graph.Bitmap, k int, visit func(shard int, local int64)) {
+	words := bm.Words()
+	if k > len(words) {
+		k = len(words)
+	}
+	if k < 1 {
+		k = 1
+	}
+	per := (len(words) + k - 1) / k
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > len(words) {
+			hi = len(words)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			for wi := lo; wi < hi; wi++ {
+				w := words[wi]
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &^= 1 << uint(b)
+					visit(s, int64(wi)*64+int64(b))
+				}
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// forEachShard splits [0, n) into k contiguous ranges and runs
+// body(shard, lo, hi) concurrently, one goroutine per shard. body must
+// only touch shard-private state; the caller folds the per-shard results
+// in shard order when order matters.
+func forEachShard(n int64, k int, body func(shard int, lo, hi int64)) {
+	if k < 1 {
+		k = 1
+	}
+	if int64(k) > n {
+		k = int(n)
+	}
+	if k <= 1 {
+		body(0, 0, n)
+		return
+	}
+	per := (n + int64(k) - 1) / int64(k)
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		lo, hi := int64(s)*per, int64(s+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, lo, hi int64) {
+			defer wg.Done()
+			body(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}

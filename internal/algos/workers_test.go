@@ -1,0 +1,228 @@
+package algos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"swbfs/internal/core"
+	"swbfs/internal/graph"
+	"swbfs/internal/obs"
+)
+
+// widths swept by the parity tests: serial, an even split, an odd width
+// (uneven shards), and more workers than bitmap words on small subgraphs.
+var parityWidths = []int{2, 3, 8}
+
+// TestWorkersParitySSSP pins the driver worker contract for the SSSP relax
+// loop: any pool width produces distances AND per-round statistics
+// bit-identical to the serial run, on both transports.
+func TestWorkersParitySSSP(t *testing.T) {
+	g := kron(t, 10, 11)
+	wg := weighted(t, g, 5)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := machine(8, transport)
+			cfg.Workers = 1
+			base, err := SSSP(cfg, wg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range parityWidths {
+				cfg.Workers = k
+				got, err := SSSP(cfg, wg, 3)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.Dist, base.Dist) {
+					t.Fatalf("workers=%d: distances diverge from serial", k)
+				}
+				if !reflect.DeepEqual(got.Info.Levels, base.Info.Levels) {
+					t.Fatalf("workers=%d: round stats diverge from serial:\n%+v\nvs\n%+v",
+						k, got.Info.Levels, base.Info.Levels)
+				}
+				if got.Info.Time != base.Info.Time {
+					t.Fatalf("workers=%d: modelled time %v != serial %v", k, got.Info.Time, base.Info.Time)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersParityDeltaSSSP does the same for the delta-stepping bucket
+// scans.
+func TestWorkersParityDeltaSSSP(t *testing.T) {
+	g := kron(t, 10, 11)
+	wg := weighted(t, g, 5)
+	cfg := machine(8, core.TransportDirect)
+	cfg.Workers = 1
+	base, err := DeltaSSSP(cfg, wg, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range parityWidths {
+		cfg.Workers = k
+		got, err := DeltaSSSP(cfg, wg, 3, 16)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", k, err)
+		}
+		if !reflect.DeepEqual(got.Dist, base.Dist) {
+			t.Fatalf("workers=%d: distances diverge from serial", k)
+		}
+		if !reflect.DeepEqual(got.Info.Levels, base.Info.Levels) {
+			t.Fatalf("workers=%d: round stats diverge from serial", k)
+		}
+		if got.Relaxations != base.Relaxations || got.Buckets != base.Buckets {
+			t.Fatalf("workers=%d: work accounting diverges (%d/%d vs %d/%d)",
+				k, got.Relaxations, got.Buckets, base.Relaxations, base.Buckets)
+		}
+	}
+}
+
+// TestScanShardsMatchesForEach: the sharded bitmap scan visits exactly the
+// serial ForEach sequence once the shards are concatenated in order.
+func TestScanShardsMatchesForEach(t *testing.T) {
+	bm := graph.NewBitmap(1000)
+	for i := int64(0); i < 1000; i += 7 {
+		bm.Set(i)
+	}
+	var want []int64
+	bm.ForEach(func(local int64) { want = append(want, local) })
+	for _, k := range []int{1, 2, 3, 16, 100} {
+		got := make([][]int64, k)
+		scanShards(bm, k, func(shard int, local int64) {
+			got[shard] = append(got[shard], local)
+		})
+		var flat []int64
+		for _, s := range got {
+			flat = append(flat, s...)
+		}
+		if !reflect.DeepEqual(flat, want) {
+			t.Fatalf("k=%d: sharded scan order diverges from ForEach", k)
+		}
+	}
+}
+
+// TestAlgosProgressEvents: an SSSP run publishes run-start, per-round and
+// run-done events on the live stream, labelled with the kernel name — the
+// payload /events subscribers see.
+func TestAlgosProgressEvents(t *testing.T) {
+	g := kron(t, 9, 2)
+	wg := weighted(t, g, 3)
+	cfg := machine(4, core.TransportDirect)
+	cfg.Obs = obs.New()
+	cfg.Obs.Progress = obs.NewProgressBroker()
+	events, cancel := cfg.Obs.Progress.Subscribe(1024)
+	defer cancel()
+
+	res, err := SSSP(cfg, wg, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var starts, rounds, dones int
+	for done := false; !done; {
+		select {
+		case ev := <-events:
+			if ev.Kernel != "sssp" {
+				t.Fatalf("event kernel = %q, want sssp (%+v)", ev.Kernel, ev)
+			}
+			switch ev.Kind {
+			case obs.EventRunStart:
+				starts++
+				if ev.Root != 240 {
+					t.Fatalf("run-start root = %d, want 240", ev.Root)
+				}
+			case obs.EventLevel:
+				if ev.Level != rounds {
+					t.Fatalf("round event %d arrived out of order (want %d)", ev.Level, rounds)
+				}
+				if ev.Direction != "round" {
+					t.Fatalf("round event direction = %q, want round", ev.Direction)
+				}
+				rounds++
+			case obs.EventRunDone:
+				dones++
+				if ev.GTEPS <= 0 {
+					t.Fatalf("run-done rate = %v, want > 0", ev.GTEPS)
+				}
+			}
+		default:
+			done = true
+		}
+	}
+	if starts != 1 || dones != 1 {
+		t.Fatalf("starts=%d dones=%d, want 1/1", starts, dones)
+	}
+	if rounds != len(res.Info.Levels) {
+		t.Fatalf("%d round events for %d recorded rounds", rounds, len(res.Info.Levels))
+	}
+}
+
+// TestAlgosTraceRecorded: an SSSP run records a reconcilable RunTrace and
+// module spans, and the pair exports to a Chrome trace with level and
+// module slices — the -chrome-trace payload.
+func TestAlgosTraceRecorded(t *testing.T) {
+	g := kron(t, 9, 2)
+	wg := weighted(t, g, 3)
+	cfg := machine(4, core.TransportDirect)
+	cfg.Workers = 2
+	cfg.Obs = obs.New()
+	cfg.Obs.Trace = obs.NewTraceRecorder()
+	cfg.Obs.Spans = obs.NewSpanRecorder()
+
+	res, err := SSSP(cfg, wg, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traces := cfg.Obs.Trace.Runs()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	rt := traces[0]
+	if err := rt.Reconcile(); err != nil {
+		t.Fatalf("trace does not reconcile: %v", err)
+	}
+	if len(rt.Levels) != len(res.Info.Levels) {
+		t.Fatalf("trace has %d levels, run reported %d rounds", len(rt.Levels), len(res.Info.Levels))
+	}
+	for i, s := range rt.Levels {
+		if s.FrontierVertices != res.Info.Levels[i].FrontierVertices {
+			t.Fatalf("round %d: trace frontier %d != stats frontier %d",
+				i, s.FrontierVertices, res.Info.Levels[i].FrontierVertices)
+		}
+	}
+
+	spans := cfg.Obs.Spans.Runs()
+	if len(spans) != 1 || len(spans[0].Spans) == 0 {
+		t.Fatalf("span recorder runs = %+v, want one run with module spans", spans)
+	}
+	var sawWorkers bool
+	for _, sp := range spans[0].Spans {
+		if sp.Module == obs.ModuleForwardGenerator && sp.Workers == 2 {
+			sawWorkers = true
+		}
+	}
+	if !sawWorkers {
+		t.Fatal("no generator span attributes the worker-pool width")
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, traces, spans); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cat": "level"`, `"cat": "module"`, `"cat": "run"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("chrome export missing %s slices", want)
+		}
+	}
+
+	sums, err := obs.ReadRunSummaries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || len(sums[0].Levels) != len(rt.Levels) || len(sums[0].Modules) == 0 {
+		t.Fatalf("tracediff summary of the export is incomplete: %+v", sums)
+	}
+}

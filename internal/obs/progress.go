@@ -25,6 +25,10 @@ type LiveEvent struct {
 	Kind string `json:"kind"`
 	Root int64  `json:"root"`
 
+	// Kernel names the algorithm driving the run ("sssp", "wcc", ...).
+	// Empty for BFS, the engine's native kernel.
+	Kernel string `json:"kernel,omitempty"`
+
 	// Level fields (EventLevel only).
 	Level            int    `json:"level,omitempty"`
 	Direction        string `json:"direction,omitempty"`

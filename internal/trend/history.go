@@ -1,0 +1,152 @@
+package trend
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// History renders the repository's performance trajectory across every
+// committed snapshot, one text sparkline per scenario — the quick "did the
+// last five PRs move GTEPS" view `benchtrend -history` prints.
+
+// HistoryPoint is one snapshot's contribution to a scenario's trajectory.
+type HistoryPoint struct {
+	// Label is the snapshot's file name (BENCH_3.json); GitSHA its
+	// recorded commit.
+	Label  string
+	GitSHA string
+	GTEPS  float64
+	// OK is false when the scenario is absent from this snapshot (the
+	// sweep definition changed); the sparkline shows a gap.
+	OK bool
+}
+
+// ScenarioHistory is one scenario's value sequence across the snapshots.
+type ScenarioHistory struct {
+	Name   string
+	Points []HistoryPoint
+}
+
+// History loads every BENCH_<n>.json in dir (in sequence order) and folds
+// the snapshots into per-scenario trajectories. Scenarios are ordered by
+// first appearance.
+func History(dir string) ([]ScenarioHistory, error) {
+	paths, err := SnapshotPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trend: no BENCH_<n>.json snapshots in %s", dir)
+	}
+	byName := map[string]*ScenarioHistory{}
+	var order []*ScenarioHistory
+	for i, path := range paths {
+		snap, err := ReadSnapshot(path)
+		if err != nil {
+			return nil, err
+		}
+		label := filepath.Base(path)
+		for _, sc := range snap.Scenarios {
+			h := byName[sc.Name]
+			if h == nil {
+				h = &ScenarioHistory{Name: sc.Name}
+				// Backfill gaps for the snapshots this scenario missed.
+				for j := 0; j < i; j++ {
+					h.Points = append(h.Points, HistoryPoint{Label: filepath.Base(paths[j])})
+				}
+				byName[sc.Name] = h
+				order = append(order, h)
+			}
+			h.Points = append(h.Points, HistoryPoint{
+				Label: label, GitSHA: snap.GitSHA, GTEPS: sc.GTEPS, OK: true,
+			})
+		}
+		// Pad scenarios absent from this snapshot.
+		for _, h := range order {
+			if len(h.Points) == i {
+				h.Points = append(h.Points, HistoryPoint{Label: label})
+			}
+		}
+	}
+	out := make([]ScenarioHistory, len(order))
+	for i, h := range order {
+		out[i] = *h
+	}
+	return out, nil
+}
+
+// sparkRunes are the eight block heights of a text sparkline, lowest first.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the point sequence as block characters, scaled to the
+// scenario's own min..max so its shape is visible regardless of absolute
+// magnitude. Gaps (absent scenarios) render as '·'; a flat sequence renders
+// at mid height.
+func Sparkline(points []HistoryPoint) string {
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, p := range points {
+		if !p.OK {
+			continue
+		}
+		if first || p.GTEPS < lo {
+			lo = p.GTEPS
+		}
+		if first || p.GTEPS > hi {
+			hi = p.GTEPS
+		}
+		first = false
+	}
+	var b strings.Builder
+	for _, p := range points {
+		switch {
+		case !p.OK:
+			b.WriteRune('·')
+		case hi == lo:
+			b.WriteRune(sparkRunes[len(sparkRunes)/2])
+		default:
+			idx := int((p.GTEPS - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			b.WriteRune(sparkRunes[idx])
+		}
+	}
+	return b.String()
+}
+
+// WriteHistory renders the full trajectory table: one sparkline row per
+// scenario with the first and latest values and the overall movement.
+func WriteHistory(w io.Writer, hist []ScenarioHistory) {
+	if len(hist) == 0 {
+		return
+	}
+	n := len(hist[0].Points)
+	fmt.Fprintf(w, "GTEPS history over %d snapshots (%s .. %s)\n\n",
+		n, hist[0].Points[0].Label, hist[0].Points[n-1].Label)
+	// The sparkline occupies n display cells (one rune per snapshot);
+	// pad the column so short histories still align.
+	width := n
+	if width < len("trend") {
+		width = len("trend")
+	}
+	fmt.Fprintf(w, "%-22s %-*s %12s %12s %8s\n", "scenario", width, "trend", "first", "latest", "delta")
+	for _, h := range hist {
+		var vals []HistoryPoint
+		for _, p := range h.Points {
+			if p.OK {
+				vals = append(vals, p)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		firstV, lastV := vals[0].GTEPS, vals[len(vals)-1].GTEPS
+		delta := "0.0%"
+		if firstV != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (lastV-firstV)/firstV*100)
+		}
+		spark := Sparkline(h.Points) + strings.Repeat(" ", width-n)
+		fmt.Fprintf(w, "%-22s %s %12.4f %12.4f %8s\n",
+			h.Name, spark, firstV, lastV, delta)
+	}
+}

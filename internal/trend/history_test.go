@@ -1,0 +1,117 @@
+package trend
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSeq lays a committed BENCH_<n>.json sequence into a temp dir: the
+// "direct" scenario rises monotonically, the "relay" scenario appears only
+// from the second snapshot on.
+func writeSeq(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	gteps := []float64{0.010, 0.012, 0.011, 0.015}
+	for i, g := range gteps {
+		snap := &Snapshot{
+			SchemaVersion: SchemaVersion,
+			GitSHA:        fmt.Sprintf("sha%d", i),
+			Scenarios:     []Scenario{{Name: "direct", GTEPS: g}},
+		}
+		if i >= 1 {
+			snap.Scenarios = append(snap.Scenarios, Scenario{Name: "relay", GTEPS: 0.02 + float64(i)*0.001})
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", i))
+		if err := WriteSnapshot(path, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestHistory(t *testing.T) {
+	dir := writeSeq(t)
+	hist, err := History(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(hist))
+	}
+	direct := hist[0]
+	if direct.Name != "direct" || len(direct.Points) != 4 {
+		t.Fatalf("direct history = %+v", direct)
+	}
+	for i, p := range direct.Points {
+		if !p.OK {
+			t.Fatalf("direct point %d marked absent", i)
+		}
+		if want := fmt.Sprintf("BENCH_%d.json", i); p.Label != want {
+			t.Fatalf("point %d label = %q, want %q", i, p.Label, want)
+		}
+	}
+	relay := hist[1]
+	if relay.Name != "relay" || len(relay.Points) != 4 {
+		t.Fatalf("relay history = %+v", relay)
+	}
+	if relay.Points[0].OK || !relay.Points[1].OK {
+		t.Fatalf("relay gap wrong: %+v", relay.Points)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	pts := func(vals ...float64) []HistoryPoint {
+		out := make([]HistoryPoint, len(vals))
+		for i, v := range vals {
+			out[i] = HistoryPoint{GTEPS: v, OK: true}
+		}
+		return out
+	}
+	if got := Sparkline(pts(1, 1, 1)); got != "▅▅▅" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+	got := Sparkline(pts(0, 1, 2, 3, 4, 5, 6, 7))
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", got)
+	}
+	gap := []HistoryPoint{{OK: false}, {GTEPS: 1, OK: true}, {GTEPS: 2, OK: true}}
+	if got := Sparkline(gap); got != "·▁█" {
+		t.Fatalf("gapped sparkline = %q", got)
+	}
+}
+
+func TestWriteHistory(t *testing.T) {
+	dir := writeSeq(t)
+	hist, err := History(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteHistory(&buf, hist)
+	out := buf.String()
+	for _, want := range []string{
+		"GTEPS history over 4 snapshots (BENCH_0.json .. BENCH_3.json)",
+		"direct",
+		"relay",
+		"+50.0%", // 0.010 -> 0.015
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("history output missing %q:\n%s", want, out)
+		}
+	}
+	// The relay row must show its first-snapshot gap.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "relay") && !strings.Contains(line, "·") {
+			t.Fatalf("relay row has no gap marker: %q", line)
+		}
+	}
+}
+
+func TestHistoryEmptyDir(t *testing.T) {
+	if _, err := History(t.TempDir()); err == nil {
+		t.Fatal("empty dir produced a history")
+	}
+}

@@ -1,0 +1,54 @@
+package swbfs
+
+import (
+	"swbfs/internal/core"
+	"swbfs/internal/obs"
+)
+
+// Observability surface of the public API: attach an Observer to
+// MachineConfig.Obs and every BFS and algorithm run feeds it — metrics,
+// structured run traces, module spans for the Chrome export and live
+// progress events. See docs/OBSERVABILITY.md for the full tour.
+
+// Observer bundles the observability sinks a run feeds; any field may be
+// nil to disable that sink.
+type Observer = obs.Observer
+
+// NewObserver returns an Observer with the metrics and trace sinks
+// enabled. Attach a ProgressBroker (for live events) or a SpanRecorder
+// (for Chrome traces) to taste.
+func NewObserver() *Observer { return obs.New() }
+
+// ProgressBroker fans live per-level / per-round progress events out to
+// subscribers — the engine behind the telemetry server's /events stream.
+type ProgressBroker = obs.ProgressBroker
+
+// NewProgressBroker returns an empty broker; assign it to Observer.Progress.
+func NewProgressBroker() *ProgressBroker { return obs.NewProgressBroker() }
+
+// LiveEvent is one live progress update from a running kernel. Kind is one
+// of the Event* constants; Kernel names the algorithm ("sssp", "wcc", ...)
+// and is empty for BFS.
+type LiveEvent = obs.LiveEvent
+
+// Live event kinds published by runs.
+const (
+	// EventRunStart opens a rooted run.
+	EventRunStart = obs.EventRunStart
+	// EventLevel reports one completed BFS level or algorithm round.
+	EventLevel = obs.EventLevel
+	// EventRunDone closes a run with its headline results.
+	EventRunDone = obs.EventRunDone
+	// EventStraggler flags a node that exceeded the straggler factor.
+	EventStraggler = obs.EventStraggler
+)
+
+// AbortError is returned when a run tears down early — a chaos-injected
+// node kill, a watchdog timeout, or any module error. It carries the
+// original cause (errors.Is/As see through it) and the levels or rounds
+// that completed before the failure.
+type AbortError = core.AbortError
+
+// ErrLevelTimeout is the watchdog's abort cause: no level or round
+// completed within MachineConfig.LevelTimeout.
+var ErrLevelTimeout = core.ErrLevelTimeout
