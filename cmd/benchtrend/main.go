@@ -33,8 +33,12 @@ func main() {
 		compare       = flag.Bool("compare", false, "compare two snapshot files given as arguments instead of running the sweep")
 		compareLatest = flag.Bool("compare-latest", false, "compare the newest two BENCH_<n>.json snapshots in -dir")
 		history       = flag.Bool("history", false, "print per-scenario GTEPS sparklines over every BENCH_<n>.json in -dir")
+		svgOut        = flag.String("svg", "", "with -history: also render the trajectory as an SVG sparkline file at this path")
 	)
 	flag.Parse()
+	if *svgOut != "" && !*history {
+		fatalf("-svg is only valid together with -history")
+	}
 
 	switch {
 	case *history:
@@ -46,6 +50,20 @@ func main() {
 			fatalf("%v", err)
 		}
 		trend.WriteHistory(os.Stdout, hist)
+		if *svgOut != "" {
+			f, err := os.Create(*svgOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := trend.WriteHistorySVG(f, hist); err != nil {
+				f.Close()
+				fatalf("rendering %s: %v", *svgOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "benchtrend: wrote %s\n", *svgOut)
+		}
 	case *compare:
 		if flag.NArg() != 2 {
 			fatalf("-compare needs exactly two snapshot files (old new)")

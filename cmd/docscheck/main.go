@@ -5,8 +5,11 @@
 //
 //  1. Every intra-repository markdown link resolves. All `[text](target)`
 //     links in every tracked .md file are checked against the filesystem
-//     (external http(s)/mailto links and pure #fragments are skipped;
-//     a target's #fragment is stripped before the existence check).
+//     (external http(s)/mailto links are skipped). A `#fragment` — on a
+//     `file.md#fragment` link or a bare same-file `#fragment` — must match
+//     an actual heading anchor of the target document, using GitHub's
+//     slug rules (lowercased, punctuation dropped, spaces to hyphens,
+//     duplicates suffixed -1, -2, ...).
 //  2. Every CLI flag is documented. Each `flag.Xxx("name", ...)`
 //     registration under cmd/ must be mentioned as `-name` in at least
 //     one markdown file — a flag nobody can discover is a flag that
@@ -23,11 +26,14 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 var (
 	// [text](target) — non-greedy, one line; images share the syntax.
 	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// ATX headings: 1-6 hashes, a space, the heading text.
+	mdHeading = regexp.MustCompile(`^(#{1,6})[ \t]+(.+)$`)
 	// String/Bool/Int/... flag registrations, including the *Var forms.
 	flagDecl = regexp.MustCompile(`\bflag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)(?:Var)?\(\s*(?:&\w+(?:\.\w+)*\s*,\s*)?"([^"]+)"`)
 )
@@ -89,8 +95,23 @@ func collect(root string) (md, goSrc []string, err error) {
 	return md, goSrc, err
 }
 
-// checkLinks verifies every relative markdown link target exists.
+// checkLinks verifies every relative markdown link target exists and every
+// #fragment names a real heading anchor of its target document.
 func checkLinks(root string, mdFiles []string) []string {
+	anchors := map[string]map[string]bool{} // cleaned repo-rel .md path -> anchor set
+	anchorsOf := func(rel string) map[string]bool {
+		rel = filepath.Clean(rel)
+		if set, ok := anchors[rel]; ok {
+			return set
+		}
+		var set map[string]bool
+		if data, err := os.ReadFile(filepath.Join(root, rel)); err == nil {
+			set = headingAnchors(string(data))
+		}
+		anchors[rel] = set
+		return set
+	}
+
 	var problems []string
 	for _, rel := range mdFiles {
 		data, err := os.ReadFile(filepath.Join(root, rel))
@@ -99,19 +120,27 @@ func checkLinks(root string, mdFiles []string) []string {
 			continue
 		}
 		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
-			target := m[1]
+			target, frag := m[1], ""
 			if skipLink(target) {
 				continue
 			}
 			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
-				if target == "" {
-					continue // same-file fragment
-				}
+				target, frag = target[:i], target[i+1:]
 			}
-			resolved := filepath.Join(root, filepath.Dir(rel), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+			targetRel := rel // bare #fragment: the document itself
+			if target != "" {
+				resolved := filepath.Join(root, filepath.Dir(rel), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+					continue
+				}
+				targetRel = filepath.Join(filepath.Dir(rel), filepath.FromSlash(target))
+			}
+			if frag != "" && strings.HasSuffix(targetRel, ".md") {
+				if set := anchorsOf(targetRel); set != nil && !set[frag] {
+					problems = append(problems, fmt.Sprintf("%s: link %q: no heading with anchor #%s in %s",
+						rel, m[1], frag, filepath.ToSlash(targetRel)))
+				}
 			}
 		}
 	}
@@ -119,12 +148,62 @@ func checkLinks(root string, mdFiles []string) []string {
 }
 
 func skipLink(target string) bool {
-	for _, prefix := range []string{"http://", "https://", "mailto:", "#"} {
+	for _, prefix := range []string{"http://", "https://", "mailto:"} {
 		if strings.HasPrefix(target, prefix) {
 			return true
 		}
 	}
 	return false
+}
+
+// headingAnchors collects the GitHub anchor slugs of a markdown document's
+// ATX headings, skipping fenced code blocks. A repeated slug gets the -1,
+// -2, ... suffixes GitHub appends.
+func headingAnchors(doc string) map[string]bool {
+	set := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := mdHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// Closing-sequence form "## Title ##": the trailing hashes are not
+		// part of the heading text.
+		text := strings.TrimRight(m[2], "#")
+		slug := slugify(text)
+		n := counts[slug]
+		counts[slug]++
+		if n > 0 {
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		}
+		set[slug] = true
+	}
+	return set
+}
+
+// slugify applies GitHub's heading-anchor rules: lowercase, keep letters,
+// digits, hyphens and underscores, turn spaces into hyphens, drop
+// everything else.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }
 
 // checkFlags verifies every flag registered under cmd/ is mentioned as

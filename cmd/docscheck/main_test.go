@@ -23,7 +23,7 @@ func fakeRepo(t *testing.T) string {
 		}
 	}
 	write("README.md", "See [the guide](docs/GUIDE.md) and [gone](docs/MISSING.md).\nUse `-scale N` to size the graph.\n")
-	write("docs/GUIDE.md", "Back to [README](../README.md) and [section](#section) and [site](https://example.com/x.md).\n")
+	write("docs/GUIDE.md", "# Guide\n\n## Section\n\nBack to [README](../README.md) and [section](#section) and [site](https://example.com/x.md).\n")
 	write("cmd/tool/main.go", `package main
 
 import "flag"
@@ -79,6 +79,80 @@ func TestCheckFlags(t *testing.T) {
 	problems := checkFlags(root, md, goSrc)
 	if len(problems) != 1 || !strings.Contains(problems[0], "-ghost") {
 		t.Fatalf("flag problems = %v, want one about -ghost", problems)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for _, tc := range []struct{ heading, want string }{
+		{"Flight recorder & post-mortems", "flight-recorder--post-mortems"},
+		{"Hello, World!", "hello-world"},
+		{"snake_case and-dash", "snake_case-and-dash"},
+		{"  padded  ", "padded"},
+		{"`-flags` in code", "-flags-in-code"},
+		{"Mixed CASE 123", "mixed-case-123"},
+	} {
+		if got := slugify(tc.heading); got != tc.want {
+			t.Errorf("slugify(%q) = %q, want %q", tc.heading, got, tc.want)
+		}
+	}
+}
+
+func TestHeadingAnchors(t *testing.T) {
+	doc := "# Top\n\n## Dup\n\n## Dup\n\n```\n# not a heading\n```\n\n## Closing ##\n"
+	set := headingAnchors(doc)
+	for _, want := range []string{"top", "dup", "dup-1", "closing"} {
+		if !set[want] {
+			t.Errorf("anchor %q missing from %v", want, set)
+		}
+	}
+	if set["not-a-heading"] {
+		t.Errorf("fenced pseudo-heading leaked into anchors: %v", set)
+	}
+}
+
+// TestCheckAnchors lays out a repo where the only problems are fragment
+// mismatches: a cross-file #fragment naming no heading, a bare same-file
+// #fragment naming no heading, and a fragment pointing at a heading that
+// only exists inside a code fence.
+func TestCheckAnchors(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.md", "# Top\n\n"+
+		"## Flight recorder & post-mortems\n\n"+
+		"```\n# Fenced\n```\n\n"+
+		"[ok cross](b.md#real)\n"+
+		"[bad cross](b.md#nope)\n"+
+		"[ok self](#flight-recorder--post-mortems)\n"+
+		"[bad self](#missing)\n"+
+		"[fenced](#fenced)\n")
+	write("b.md", "## Real\n\nSee [top](a.md#top).\n")
+	md, _, err := collect(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := checkLinks(root, md)
+	if len(problems) != 3 {
+		t.Fatalf("anchor problems = %v, want 3", problems)
+	}
+	for i, frag := range []string{"#nope", "#missing", "#fenced"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("problem %d about %s missing from %v", i, frag, problems)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+// Command flightview renders a flight-recorder dump — the black-box
+// post-mortem an aborted run writes via the -flight-dump flags, the
+// AbortError attachment, or /debug/flight on the telemetry server — as a
+// per-node event timeline, with anomalies marked [injected] when the
+// run's chaos injection log explains them and [emergent] otherwise. With
+// -diff it compares two dumps from the same seed and exits nonzero when
+// they diverge. See docs/OBSERVABILITY.md "Flight recorder & post-mortems".
+//
+// Usage:
+//
+//	flightview run.flight.json
+//	flightview -diff a.flight.json b.flight.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swbfs/internal/flight"
+	"swbfs/internal/obs"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "diff two dumps from the same seed instead of rendering one")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: flightview <dump.json>")
+		fmt.Fprintln(os.Stderr, "       flightview -diff <a.json> <b.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		a, b := readDump(flag.Arg(0)), readDump(flag.Arg(1))
+		n, err := flight.Diff(os.Stdout, a, b, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := flight.Render(os.Stdout, readDump(flag.Arg(0))); err != nil {
+		fatal(err)
+	}
+}
+
+func readDump(path string) *obs.FlightDump {
+	d, err := obs.ReadFlightDumpFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flightview:", err)
+	os.Exit(1)
+}

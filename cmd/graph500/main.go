@@ -55,6 +55,8 @@ func main() {
 		delta      = flag.Int64("delta", 0, "sssp kernel: delta-stepping bucket width (0 = Bellman-Ford)")
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node, the CPE-cluster stand-in (0 = GOMAXPROCS/nodes, 1 = serial; results are identical for every width)")
 
+		flightDump = flag.String("flight-dump", "", "write the flight-recorder post-mortem of an aborted run to this file (default: <-trace-out>.flight.json when -trace-out is set; render with flightview)")
+
 		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into the simulated fabric (0 = off; see docs/CHAOS.md)")
 		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan, comma-separated fault specs like kill@2:l1:data/forward:0 (wins over -chaos-seed; see docs/CHAOS.md)")
 		levelTimeout    = flag.Duration("level-timeout", 0, "abort the run if no BFS level completes within this duration (0 = no watchdog)")
@@ -104,10 +106,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graph500: chaos plan from seed %d: %s\n", *chaosSeed, plan)
 	}
 	machine.Profile = obs.ProfileConfig{CPUProfile: *cpuprofile, ExecTrace: *exectrace}
+	if *flightDump == "" && *traceOut != "" {
+		*flightDump = *traceOut + ".flight.json"
+	}
+	machine.FlightDump = *flightDump
 
 	var observer *obs.Observer
 	if *metrics || *traceOut != "" || *serveAddr != "" || *chromeOut != "" {
 		observer = obs.New()
+		// Share one recorder across every root's run so /debug/flight (and
+		// an abort's post-mortem) sees the whole benchmark's black box.
+		observer.Flight = obs.NewFlightRecorder(0)
 		machine.Obs = observer
 	}
 	if *chromeOut != "" {
@@ -258,6 +267,12 @@ func printAbortReport(ae *core.AbortError) {
 		fmt.Fprintf(os.Stderr, "    L%-2d %-9s work=%-10d sent=%-10d msgs=%-6d %s\n",
 			l.Level, l.Direction, l.MaxNodeProcessedBytes, l.MaxNodeSentBytes,
 			l.MaxNodeMessages, l.Net.String())
+	}
+	if ae.FlightPath != "" {
+		fmt.Fprintf(os.Stderr, "graph500: flight-recorder post-mortem written to %s (render with flightview)\n", ae.FlightPath)
+	} else if ae.FlightDump != nil {
+		fmt.Fprintf(os.Stderr, "graph500: flight-recorder post-mortem captured %d event(s); pass -flight-dump to write it to a file\n",
+			len(ae.FlightDump.Events))
 	}
 }
 

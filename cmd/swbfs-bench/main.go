@@ -47,6 +47,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node (0 = GOMAXPROCS/nodes; results are identical for every width)")
+		flightDump = flag.String("flight-dump", "", "write the flight-recorder post-mortem of an aborted functional run to this file (default: <-trace-out>.flight.json when -trace-out is set; render with flightview)")
 
 		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into every functional measurement (0 = off; see docs/CHAOS.md)")
 		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan into every functional measurement (wins over -chaos-seed; see docs/CHAOS.md)")
@@ -61,6 +62,10 @@ func main() {
 	experiments.SetWorkers(*workers)
 	experiments.SetLevelTimeout(*levelTimeout)
 	experiments.SetStragglerFactor(*stragglerFactor)
+	if *flightDump == "" && *traceOut != "" {
+		*flightDump = *traceOut + ".flight.json"
+	}
+	experiments.SetFlightDump(*flightDump)
 	if *chaosPlan != "" {
 		plan, err := chaos.ParsePlan(*chaosPlan)
 		if err != nil {
@@ -74,6 +79,9 @@ func main() {
 	var observer *obs.Observer
 	if *metrics || *traceOut != "" || *serveAddr != "" || *chromeOut != "" {
 		observer = obs.New()
+		// One shared recorder across the sweep so /debug/flight serves the
+		// whole black box, not just the last measurement's.
+		observer.Flight = obs.NewFlightRecorder(0)
 		experiments.SetObserver(observer)
 	}
 	if *chromeOut != "" {

@@ -162,12 +162,21 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		sr.BeginRun(int64(opts.Root))
 	}
 
+	// Flight recording is always on, exactly as in the BFS runner: shared
+	// via the observer when attached there, private otherwise.
+	flight := cfg.Obs.FlightOf()
+	if flight == nil {
+		flight = obs.NewFlightRecorder(0)
+	}
+	flight.BeginRun(int64(opts.Root), kernel, cfg.Nodes, cfg.Transport.String())
+
 	// The injector is rebuilt per run so every Run against the same plan
 	// replays the same faults — the determinism contract of docs/CHAOS.md,
 	// identical to the BFS runner's per-root rebuild.
 	var inj *chaos.Injector
 	if cfg.Chaos != nil {
 		inj = chaos.NewInjector(*cfg.Chaos, cfg.Obs.MetricsOf())
+		inj.SetFlight(flight)
 	}
 
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
@@ -178,6 +187,7 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		MPIMemoryBudget: cfg.MPIMemoryBudget,
 		Codec:           cfg.Codec,
 		Chaos:           inj,
+		Flight:          flight,
 	})
 	if err != nil {
 		return nil, err
@@ -232,6 +242,7 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 			root:      int64(opts.Root),
 			progress:  cfg.Obs.ProgressOf(),
 			keepSpans: cfg.Obs.SpansOf() != nil,
+			flight:    flight,
 		}
 	}
 
@@ -243,6 +254,7 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 	if cfg.LevelTimeout > 0 {
 		watchdogErr = make(chan error, 1)
 		watchdogStop = make(chan struct{})
+		flight.Control(obs.FlightWatchdogArm, -1, -1, "round timeout "+cfg.LevelTimeout.String())
 		go func() {
 			t := time.NewTicker(cfg.LevelTimeout)
 			defer t.Stop()
@@ -257,6 +269,8 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 						last = cur
 						continue
 					}
+					flight.Control(obs.FlightWatchdogFire, -1, int(cur),
+						"no round completed within "+cfg.LevelTimeout.String())
 					watchdogErr <- fmt.Errorf("%w: no round completed within %s",
 						core.ErrLevelTimeout, cfg.LevelTimeout)
 					net.Abort()
@@ -305,11 +319,24 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		if cause == nil {
 			cause = errors.New("algos: run aborted without a reported cause")
 		}
-		return nil, &core.AbortError{
+		ae := &core.AbortError{
 			Root:            opts.Root,
 			Cause:           cause,
 			CompletedLevels: append([]perf.LevelStats(nil), info.Levels...),
 		}
+		// Post-mortem, mirroring the BFS runner: stamp the abort, drain the
+		// black box, write the dump when a path was configured.
+		flight.Control(obs.FlightAbort, -1, len(info.Levels), cause.Error())
+		d := flight.Dump()
+		d.Aborted = true
+		d.Cause = cause.Error()
+		ae.FlightDump = d
+		if cfg.FlightDump != "" {
+			if werr := obs.WriteFlightDumpFile(cfg.FlightDump, d); werr == nil {
+				ae.FlightPath = cfg.FlightDump
+			}
+		}
+		return nil, ae
 	}
 
 	model := perf.NewModel(net.Topo, cfg.Engine)
@@ -449,6 +476,8 @@ type nodeRun struct {
 
 	keepSpans bool
 	spanLog   []roundWork
+
+	flight *obs.FlightRecorder
 }
 
 func (n *nodeRun) loop() error {
@@ -467,6 +496,7 @@ func (n *nodeRun) loop() error {
 		var before fabric.Snapshot
 		if n.ctx.ID == 0 {
 			before = n.net.Counters.Snapshot()
+			n.flight.Control(obs.FlightRoundOpen, -1, round, "")
 		}
 
 		active := n.net.AllreduceSum(n.algo.Active())
@@ -575,6 +605,8 @@ func (n *nodeRun) loop() error {
 			n.st.lastSnap = after
 			n.st.mu.Unlock()
 			n.st.roundTick.Add(1) // feed the watchdog: this round completed
+			n.flight.Control(obs.FlightRoundClose, -1, round,
+				fmt.Sprintf("active=%d pairs=%d", active, sumPairs))
 		}
 	}
 }

@@ -1,0 +1,143 @@
+// Chaos coverage for the rootless kernels (WCC, PageRank): their label
+// and rank folds must be idempotent under duplicated deliveries and
+// invisible retries — a completed faulted run is bit-identical to the
+// fault-free one — and a killed run tears down into a clean AbortError
+// with a parseable flight-recorder post-mortem. `make chaos` sweeps these
+// with the BFS harness.
+package chaos_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"swbfs/internal/algos"
+	"swbfs/internal/chaos"
+	"swbfs/internal/core"
+	"swbfs/internal/flight"
+	"swbfs/internal/testutil"
+)
+
+// rootlessPlans maps each transport to a transient plan striking round 0
+// of a rootless kernel: a retried send failure, a dropped wire batch and
+// a duplicated delivery. Every node is active in round 0 (WCC labels and
+// PageRank pushes flow from all vertices), so all three faults fire.
+var rootlessPlans = map[core.Transport]string{
+	core.TransportDirect: "sendfail@1:l0:data/forward:0,drop@3:l0:data/forward:0,dup@2:l0:data/forward:0",
+	core.TransportRelay:  "sendfail@1:l0:relay-data/forward:0,drop@3:l0:relay-data/forward:0,dup@2:l0:relay-data/forward:0",
+}
+
+func TestChaosRootlessWCC(t *testing.T) {
+	g := harnessGraph(t)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := harnessConfig(transport)
+			base, err := algos.WCC(cfg, g)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			plan, err := chaos.ParsePlan(rootlessPlans[transport])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg := cfg
+			ccfg.Chaos = &plan
+
+			leak := testutil.CheckGoroutines(t)
+			res, err := algos.WCC(ccfg, g)
+			leak()
+			if err != nil {
+				t.Fatalf("faulted run aborted: %v", err)
+			}
+			if len(res.Info.Injections) == 0 {
+				t.Fatal("no fault fired: the plan never exercised the kernel")
+			}
+			if !reflect.DeepEqual(res.Label, base.Label) {
+				t.Fatal("label fold is not idempotent: faulted labels differ from fault-free run")
+			}
+			if res.Components != base.Components {
+				t.Fatalf("component count drifted: %d vs %d", res.Components, base.Components)
+			}
+		})
+	}
+}
+
+func TestChaosRootlessPageRank(t *testing.T) {
+	g := harnessGraph(t)
+	const iterations = 8
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := harnessConfig(transport)
+			base, err := algos.PageRank(cfg, g, iterations, 0)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			plan, err := chaos.ParsePlan(rootlessPlans[transport])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg := cfg
+			ccfg.Chaos = &plan
+
+			leak := testutil.CheckGoroutines(t)
+			res, err := algos.PageRank(ccfg, g, iterations, 0)
+			leak()
+			if err != nil {
+				t.Fatalf("faulted run aborted: %v", err)
+			}
+			if len(res.Info.Injections) == 0 {
+				t.Fatal("no fault fired: the plan never exercised the kernel")
+			}
+			// The accumulator folds contributions in batch-arrival order, so
+			// ranks are deterministic only to float reordering noise (~1e-16
+			// relative). A double-counted duplicate or a lost batch would
+			// shift a vertex by a whole contribution — orders of magnitude
+			// above this tolerance — so the bound still proves idempotence.
+			const relTol = 1e-9
+			for v := range base.Rank {
+				diff := math.Abs(res.Rank[v] - base.Rank[v])
+				if diff > relTol*math.Abs(base.Rank[v]) {
+					t.Fatalf("rank fold is not idempotent: vertex %d rank %g vs fault-free %g",
+						v, res.Rank[v], base.Rank[v])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosRootlessKillDump: a killed rootless run aborts cleanly and its
+// AbortError carries a flight dump the renderer parses, with the kill
+// visible as an injected event.
+func TestChaosRootlessKillDump(t *testing.T) {
+	g := harnessGraph(t)
+	plan, err := chaos.ParsePlan("kill@1:l0:data/forward:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harnessConfig(core.TransportDirect)
+	cfg.Chaos = &plan
+
+	leak := testutil.CheckGoroutines(t)
+	res, err := algos.WCC(cfg, g)
+	leak()
+	if res != nil || err == nil {
+		t.Fatalf("killed run returned (%v, %v)", res, err)
+	}
+	var ae *core.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an AbortError: %v", err)
+	}
+	if ae.FlightDump == nil || !ae.FlightDump.Aborted {
+		t.Fatal("AbortError carries no stamped flight dump")
+	}
+	var rendered strings.Builder
+	if err := flight.Render(&rendered, ae.FlightDump); err != nil {
+		t.Fatal(err)
+	}
+	out := rendered.String()
+	if !strings.Contains(out, "kill@") || !strings.Contains(out, "[injected]") {
+		t.Fatalf("rendered post-mortem does not show the injected kill:\n%s", out)
+	}
+}

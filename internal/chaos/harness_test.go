@@ -14,13 +14,17 @@ package chaos_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"swbfs/internal/chaos"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
+	"swbfs/internal/flight"
 	"swbfs/internal/graph"
 	"swbfs/internal/obs"
 	"swbfs/internal/perf"
@@ -92,11 +96,13 @@ func TestChaosHarness(t *testing.T) {
 				t.Fatal("fault-free LevelStats are not deterministic")
 			}
 
+			dumpDir := t.TempDir()
 			completed, aborted := 0, 0
 			for seed := int64(1); seed <= harnessPlans; seed++ {
 				plan := chaos.NewRandomPlan(seed, harnessNodes)
 				ccfg := cfg
 				ccfg.Chaos = &plan
+				ccfg.FlightDump = filepath.Join(dumpDir, fmt.Sprintf("seed%d.flight.json", seed))
 
 				leak := testutil.CheckGoroutines(t)
 				r, err := core.NewRunner(ccfg, g)
@@ -128,6 +134,37 @@ func TestChaosHarness(t *testing.T) {
 					var killed *comm.ErrNodeKilled
 					if !errors.As(err1, &killed) {
 						t.Fatalf("seed %d (%s): abort cause is not a kill: %v", seed, plan, err1)
+					}
+					// Every aborted run leaves a post-mortem: the AbortError
+					// carries the dump, the -flight-dump file parses, its inject
+					// events reconcile 1:1 with the injection log, and the
+					// renderer marks the injections. err2's file is the current
+					// one — both runs wrote the same path.
+					var ae2 *core.AbortError
+					if !errors.As(err2, &ae2) {
+						t.Fatalf("seed %d (%s): second abort is not an AbortError: %v", seed, plan, err2)
+					}
+					if ae2.FlightDump == nil || !ae2.FlightDump.Aborted || ae2.FlightDump.Cause == "" {
+						t.Fatalf("seed %d (%s): AbortError carries no stamped flight dump", seed, plan)
+					}
+					if ae2.FlightPath != ccfg.FlightDump {
+						t.Fatalf("seed %d (%s): flight path %q, want %q", seed, plan, ae2.FlightPath, ccfg.FlightDump)
+					}
+					d, err := obs.ReadFlightDumpFile(ae2.FlightPath)
+					if err != nil {
+						t.Fatalf("seed %d (%s): written dump unreadable: %v", seed, plan, err)
+					}
+					if err := flight.Reconcile(d, log2); err != nil {
+						t.Fatalf("seed %d (%s): %v", seed, plan, err)
+					}
+					var rendered strings.Builder
+					if err := flight.Render(&rendered, d); err != nil {
+						t.Fatalf("seed %d (%s): rendering dump: %v", seed, plan, err)
+					}
+					if !strings.Contains(rendered.String(), "ABORTED:") ||
+						!strings.Contains(rendered.String(), "[injected]") {
+						t.Fatalf("seed %d (%s): render lacks abort/injection markers:\n%s",
+							seed, plan, rendered.String())
 					}
 					continue
 				}

@@ -46,6 +46,7 @@ type Injector struct {
 	killed  map[int]bool
 	log     []Fault
 	metrics *obs.Registry
+	flight  *obs.FlightRecorder
 }
 
 // NewInjector compiles a plan. metrics, when non-nil, receives
@@ -67,6 +68,18 @@ func NewInjector(p Plan, metrics *obs.Registry) *Injector {
 		}
 	}
 	return in
+}
+
+// SetFlight attaches a flight recorder: every fault the injector records
+// in its log also lands in the recorder as an inject event, so a
+// post-mortem dump reconciles 1:1 with the injection log.
+func (in *Injector) SetFlight(fr *obs.FlightRecorder) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.flight = fr
+	in.mu.Unlock()
 }
 
 // OnDeliver advances the (src, level, wireKind, channel) stream's op
@@ -123,6 +136,7 @@ func (in *Injector) record(f Fault) {
 		in.metrics.Counter("chaos.injected").Inc()
 		in.metrics.Counter("chaos.injected." + f.Kind.String()).Inc()
 	}
+	in.flight.Inject(f.Node, f.Level, f.String())
 }
 
 // Log returns the faults that actually fired, in a deterministic sorted

@@ -93,6 +93,10 @@ type Config struct {
 	// Chaos, when non-nil, injects the compiled fault plan into every
 	// delivery (see internal/chaos and docs/CHAOS.md).
 	Chaos *chaos.Injector
+	// Flight, when non-nil, receives one black-box event per logical
+	// delivery (send on the source, recv/dup-drop on the destination) for
+	// post-mortem dumps (see docs/OBSERVABILITY.md).
+	Flight *obs.FlightRecorder
 }
 
 // Network owns the inboxes, traffic counters and connection tracking of a
@@ -128,6 +132,10 @@ type Network struct {
 	retries atomicInt64
 	dupSeq  atomicInt64
 
+	// flight is the black-box recorder fed from deliver (sends) and the
+	// endpoints (receives, dup-drops); nil disables at zero cost.
+	flight *obs.FlightRecorder
+
 	coll *collectiveGroup
 }
 
@@ -157,6 +165,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nodeBytes:  make([]atomicInt64, cfg.Nodes),
 		codec:      cfg.Codec,
 		chaos:      cfg.Chaos,
+		flight:     cfg.Flight,
 	}
 	for i := range n.inboxes {
 		n.inboxes[i] = NewInbox()
@@ -206,23 +215,40 @@ func (n *Network) deliver(b Batch) error {
 	if n.Aborted() {
 		return fmt.Errorf("comm: node %d delivery to %d refused: %w", b.Src, b.Dst, ErrAborted)
 	}
-	dup := false
+	var (
+		dup     bool
+		killed  bool
+		retries int
+		fault   string
+	)
 	if n.chaos != nil {
 		if f, ok := n.chaos.OnDeliver(b.Src, b.Level, uint8(b.Kind), uint8(b.Channel)); ok {
+			fault = f.String()
 			switch f.Kind {
 			case chaos.KindKill:
-				for attempt := 1; attempt < MaxSendAttempts; attempt++ {
-					n.retries.Add(1)
-					time.Sleep(retryBackoff * time.Duration(attempt))
-				}
-				return &ErrNodeKilled{Node: b.Src, Level: b.Level}
+				killed = true
+				retries = MaxSendAttempts - 1
 			case chaos.KindSendFail, chaos.KindDrop:
-				n.retries.Add(1)
-				time.Sleep(retryBackoff)
+				retries = 1
 			case chaos.KindDup:
 				dup = true
 			}
 		}
+	}
+	// The send event is recorded before the kill verdict so a dump shows
+	// the killed node's final, doomed delivery attempt.
+	n.flight.Send(b.Src, b.Dst, b.Level, payloadPairs(&b), retries,
+		b.Kind.String(), b.Channel.String(), fault)
+	if killed {
+		for attempt := 1; attempt < MaxSendAttempts; attempt++ {
+			n.retries.Add(1)
+			time.Sleep(retryBackoff * time.Duration(attempt))
+		}
+		return &ErrNodeKilled{Node: b.Src, Level: b.Level}
+	}
+	if retries > 0 {
+		n.retries.Add(1)
+		time.Sleep(retryBackoff)
 	}
 	class := n.Topo.Classify(b.Src, b.Dst)
 	wire := n.wireSize(&b)
@@ -241,6 +267,27 @@ func (n *Network) deliver(b Batch) error {
 	}
 	n.inboxes[b.Dst].Push(b)
 	return nil
+}
+
+// payloadPairs counts the vertex pairs a batch carries, descending into
+// relay envelopes — the payload figure flight events report.
+func payloadPairs(b *Batch) int {
+	pairs := len(b.Pairs)
+	for i := range b.Inner {
+		pairs += payloadPairs(&b.Inner[i])
+	}
+	return pairs
+}
+
+// flightRecv records a consumed delivery in the flight recorder; endpoints
+// call it once per batch that survives duplicate discarding.
+func (n *Network) flightRecv(node int, b *Batch) {
+	n.flight.Recv(node, b.Src, b.Level, payloadPairs(b), b.Kind.String(), b.Channel.String())
+}
+
+// flightDupDrop records a discarded chaos-duplicate delivery.
+func (n *Network) flightDupDrop(node int, b *Batch) {
+	n.flight.DupDrop(node, b.Src, b.Level, payloadPairs(b), b.Kind.String(), b.Channel.String())
 }
 
 // ChaosDelay returns the scheduled chaos delay of a module site for

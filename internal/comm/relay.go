@@ -375,8 +375,10 @@ func (e *RelayEndpoint) Recv() Event {
 			return Event{Type: EvError, Err: fmt.Errorf("comm: node %d inbox closed mid-level: %w", e.node, ErrAborted)}
 		}
 		if b.DupID != 0 && e.dropDup(b.DupID) {
+			e.net.flightDupDrop(e.node, &b)
 			continue // chaos duplicate: the first copy was already delivered
 		}
+		e.net.flightRecv(e.node, &b)
 		if b.Level != e.level {
 			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
 				e.node, b.Level, b.Kind, e.level))

@@ -126,6 +126,13 @@ type Config struct {
 	// wrapped in an AbortError. 0 disables the watchdog.
 	LevelTimeout time.Duration
 
+	// FlightDump, when non-empty, is the file an aborted Run writes its
+	// flight-recorder post-mortem to (schema-versioned JSON; see
+	// docs/OBSERVABILITY.md "Flight recorder & post-mortems"). The dump is
+	// also attached to the AbortError itself, so the path is a convenience
+	// for CLI workflows (-flight-dump).
+	FlightDump string
+
 	// StragglerFactor enables straggler detection: after each level, a
 	// node whose host-side level time exceeds the all-node mean by this
 	// factor is flagged (obs.EventStraggler on /events, an instant event

@@ -32,6 +32,13 @@ type AbortError struct {
 	Root            graph.Vertex
 	Cause           error
 	CompletedLevels []perf.LevelStats
+
+	// FlightDump is the flight recorder's post-mortem: every black-box
+	// event leading up to the abort, in canonical order. FlightPath is
+	// where the dump was written when Config.FlightDump asked for a file
+	// ("" otherwise). Render with cmd/flightview.
+	FlightDump *obs.FlightDump
+	FlightPath string
 }
 
 func (e *AbortError) Error() string {
@@ -99,6 +106,11 @@ type Runner struct {
 	inj       *chaos.Injector
 	levelTick atomic.Int64
 
+	// flight is the always-on black-box recorder: Config.Obs.Flight when
+	// attached there, a private recorder otherwise. Drained into a
+	// post-mortem dump when a run aborts (see AbortError.FlightDump).
+	flight *obs.FlightRecorder
+
 	// Straggler state: per-node host-side module durations for the
 	// current level (each node writes only its own slot, ordered against
 	// node 0's read by the post-level collectives) and node 0's
@@ -153,6 +165,13 @@ func NewRunner(cfg Config, g *graph.CSR) (*Runner, error) {
 		shape: shape,
 		subs:  make([]*graph.LocalSubgraph, cfg.Nodes),
 	}
+	// Flight recording is always on: the black box costs one mutexed ring
+	// append per event and is the only record of what happened when a run
+	// aborts. An observer-attached recorder is shared (so /debug/flight
+	// sees it); otherwise the runner keeps a private one.
+	if r.flight = cfg.Obs.FlightOf(); r.flight == nil {
+		r.flight = obs.NewFlightRecorder(0)
+	}
 	for node := 0; node < cfg.Nodes; node++ {
 		r.subs[node] = graph.ExtractLocal(g, part, node)
 	}
@@ -192,6 +211,11 @@ func scaledHubCount(perNode, nodes int, n int64) int {
 // Config returns the runner's configuration (with defaults applied).
 func (r *Runner) Config() Config { return r.cfg }
 
+// Flight returns the runner's black-box recorder (never nil): dump it
+// after a run — aborted or not — for the event-level record of what the
+// machine did.
+func (r *Runner) Flight() *obs.FlightRecorder { return r.flight }
+
 // Shape returns the relay group arrangement (zero value for direct).
 func (r *Runner) Shape() comm.GroupShape { return r.shape }
 
@@ -210,11 +234,14 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		sr.BeginRun(int64(root))
 	}
 
+	r.flight.BeginRun(int64(root), "bfs", r.cfg.Nodes, r.cfg.Transport.String())
+
 	// The injector is rebuilt per run so every Run against the same plan
 	// replays the same faults — the determinism contract of docs/CHAOS.md.
 	r.inj = nil
 	if r.cfg.Chaos != nil {
 		r.inj = chaos.NewInjector(*r.cfg.Chaos, r.cfg.Obs.MetricsOf())
+		r.inj.SetFlight(r.flight)
 	}
 
 	net, err := comm.NewNetwork(comm.Config{
@@ -224,6 +251,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		MPIMemoryBudget: r.cfg.MPIMemoryBudget,
 		Codec:           r.cfg.Codec,
 		Chaos:           r.inj,
+		Flight:          r.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -295,6 +323,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	if r.cfg.LevelTimeout > 0 {
 		watchdogErr = make(chan error, 1)
 		watchdogStop = make(chan struct{})
+		r.flight.Control(obs.FlightWatchdogArm, -1, -1, "level timeout "+r.cfg.LevelTimeout.String())
 		go func() {
 			t := time.NewTicker(r.cfg.LevelTimeout)
 			defer t.Stop()
@@ -309,6 +338,8 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 						last = cur
 						continue
 					}
+					r.flight.Control(obs.FlightWatchdogFire, -1, int(cur),
+						"no level completed within "+r.cfg.LevelTimeout.String())
 					watchdogErr <- fmt.Errorf("%w: no level completed within %s",
 						ErrLevelTimeout, r.cfg.LevelTimeout)
 					net.Abort()
@@ -357,14 +388,34 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		if cause == nil {
 			cause = errors.New("core: run aborted without a reported cause")
 		}
-		return nil, &AbortError{
+		ae := &AbortError{
 			Root:            root,
 			Cause:           cause,
 			CompletedLevels: append([]perf.LevelStats(nil), r.levels...),
 		}
+		ae.FlightDump, ae.FlightPath = r.postMortem(len(r.levels), cause)
+		return nil, ae
 	}
 
 	return r.assemble(root), nil
+}
+
+// postMortem closes the flight record of an aborted run: it stamps the
+// abort event, drains the recorder into a dump, and writes the dump to
+// Config.FlightDump when set (best-effort — a failed write still leaves
+// the in-memory dump on the AbortError).
+func (r *Runner) postMortem(completedLevels int, cause error) (*obs.FlightDump, string) {
+	r.flight.Control(obs.FlightAbort, -1, completedLevels, cause.Error())
+	d := r.flight.Dump()
+	d.Aborted = true
+	d.Cause = cause.Error()
+	path := ""
+	if r.cfg.FlightDump != "" {
+		if err := obs.WriteFlightDumpFile(r.cfg.FlightDump, d); err == nil {
+			path = r.cfg.FlightDump
+		}
+	}
+	return d, path
 }
 
 // LastInjections returns the faults actually injected during the most
@@ -388,6 +439,7 @@ func (ns *nodeState) runBFS() error {
 		var before fabric.Snapshot
 		if ns.id == 0 {
 			before = r.net.Counters.Snapshot()
+			r.flight.Control(obs.FlightRoundOpen, -1, level, "")
 		}
 
 		// Fold the arriving frontier into the visited snapshot before any
@@ -463,6 +515,8 @@ func (ns *nodeState) runBFS() error {
 
 		if ns.id == 0 {
 			r.levelTick.Add(1) // feed the watchdog: this level completed
+			r.flight.Control(obs.FlightRoundClose, -1, level,
+				fmt.Sprintf("dir=%s frontier=%d edges=%d", dir, nf, mf))
 			if r.cfg.StragglerFactor > 0 {
 				r.detectStragglers(level)
 			}
@@ -544,6 +598,11 @@ func (r *Runner) detectStragglers(level int) {
 			MeanHostSeconds: mean / 1e9,
 		}
 		r.stragglers = append(r.stragglers, sf)
+		// Host timings — a straggler event's detail is inherently
+		// nondeterministic, which is why byte-identical dumps require
+		// straggler detection off.
+		r.flight.Control(obs.FlightStraggler, node, level,
+			fmt.Sprintf("host=%.6fs mean=%.6fs", sf.HostSeconds, sf.MeanHostSeconds))
 		if pb := r.cfg.Obs.ProgressOf(); pb != nil {
 			pb.Publish(obs.LiveEvent{
 				Kind: obs.EventStraggler, Root: int64(r.curRoot),

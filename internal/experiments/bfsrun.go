@@ -60,6 +60,15 @@ func SetLevelTimeout(d time.Duration) { sharedLevelTimeout = d }
 // concurrently with running measurements.
 func SetStragglerFactor(f float64) { sharedStragglerFactor = f }
 
+// sharedFlightDump is where an aborted measurement writes its
+// flight-recorder post-mortem ("" = in-memory only).
+var sharedFlightDump string
+
+// SetFlightDump sets the post-mortem dump path of all subsequent
+// measurements (the -flight-dump flag; "" disables the file write). Not
+// safe to call concurrently with running measurements.
+func SetFlightDump(path string) { sharedFlightDump = path }
+
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
 // (oversubscribed) network level.
@@ -115,6 +124,7 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		Obs:                sharedObserver,
 		LevelTimeout:       sharedLevelTimeout,
 		StragglerFactor:    sharedStragglerFactor,
+		FlightDump:         sharedFlightDump,
 	}
 	if sharedChaosPlan != nil {
 		cfg.Chaos = sharedChaosPlan

@@ -1,0 +1,457 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Flight recording: an always-on, fixed-capacity black box of the
+// simulated machine. Every node owns a ring buffer of structured events
+// (sends and receives with retry counts, chaos injections, duplicate
+// drops, round windows, watchdog activity, straggler flags); when a run
+// aborts — or an operator hits /debug/flight — the rings drain into a
+// schema-versioned JSON dump that explains the moments leading up to the
+// failure, which aggregate counters cannot.
+//
+// Determinism contract: events carry no host timestamps. Each delivery
+// event is addressed by the same per-stream (level, wire, channel) op
+// coordinate system the chaos injector uses — every stream has a single
+// writer goroutine, so op numbering is a pure function of the run — and
+// Dump sorts events into a canonical order before assigning sequence
+// numbers. Two runs of the same seed and configuration therefore produce
+// byte-identical dumps, provided no ring overflowed (Dropped == 0) and
+// straggler detection is off (straggler events embed host-side timings).
+//
+// See docs/OBSERVABILITY.md ("Flight recorder & post-mortems").
+
+// FlightSchemaVersion stamps every dump; readers reject versions they do
+// not understand.
+const FlightSchemaVersion = 1
+
+// DefaultFlightCapacity is the per-node ring capacity (events). When a
+// ring overflows, the oldest events are discarded and the dump's Dropped
+// count reports how many.
+const DefaultFlightCapacity = 4096
+
+// Flight event kinds.
+const (
+	// FlightRunStart opens a run (machine-level; meta in Detail).
+	FlightRunStart = "run-start"
+	// FlightWatchdogArm records that the level/round watchdog is armed.
+	FlightWatchdogArm = "watchdog-arm"
+	// FlightRoundOpen and FlightRoundClose bracket one BFS level or
+	// algorithm round (machine-level, recorded by node 0).
+	FlightRoundOpen  = "round-open"
+	FlightRoundClose = "round-close"
+	// FlightInject records one chaos fault firing (Fault holds the spec).
+	FlightInject = "inject"
+	// FlightSend is one logical batch delivery by Node to Peer. Retries
+	// counts the transient failures the transport absorbed for it; Fault
+	// names the chaos fault that struck it, if any.
+	FlightSend = "send"
+	// FlightRecv is one batch received by Node from Peer.
+	FlightRecv = "recv"
+	// FlightDupDrop is a chaos-duplicated delivery discarded by Node.
+	FlightDupDrop = "dup-drop"
+	// FlightStraggler flags Node as a straggler for Level (host timings in
+	// Detail — nondeterministic by nature).
+	FlightStraggler = "straggler"
+	// FlightWatchdogFire records the watchdog tearing the run down.
+	FlightWatchdogFire = "watchdog-fire"
+	// FlightAbort closes an aborted run with its cause.
+	FlightAbort = "abort"
+)
+
+// flightKindRank orders event kinds within one (run, level, node) group of
+// the canonical dump order: lifecycle events frame the traffic.
+var flightKindRank = map[string]int{
+	FlightRunStart:     0,
+	FlightWatchdogArm:  1,
+	FlightRoundOpen:    2,
+	FlightInject:       3,
+	FlightSend:         4,
+	FlightRecv:         5,
+	FlightDupDrop:      6,
+	FlightStraggler:    7,
+	FlightRoundClose:   8,
+	FlightWatchdogFire: 9,
+	FlightAbort:        10,
+}
+
+// FlightEvent is one recorded event. Node -1 marks machine-level events
+// that belong to no single rank (run lifecycle, round windows, watchdog).
+type FlightEvent struct {
+	// Seq is the event's position in the canonical dump order (assigned by
+	// Dump, not at record time — ring interleaving across nodes is
+	// scheduling noise the canonical order erases).
+	Seq int `json:"seq"`
+	// Run indexes the dump's Runs metadata.
+	Run  int    `json:"run"`
+	Node int    `json:"node"`
+	Kind string `json:"kind"`
+	// Level is the BFS level or algorithm round (-1 for run-scoped events).
+	Level int `json:"level"`
+
+	// Delivery coordinates (send/recv/dup-drop): the wire kind and channel
+	// of the batch, the remote rank (destination for sends, source for
+	// receives), and the per-stream op ordinal — the chaos coordinate
+	// system, so a fault spec points straight at its event.
+	Wire    string `json:"wire,omitempty"`
+	Channel string `json:"channel,omitempty"`
+	Peer    int    `json:"peer"`
+	Op      int    `json:"op"`
+
+	// Pairs is the batch payload (vertex pairs, relay envelopes included).
+	Pairs int `json:"pairs,omitempty"`
+	// Retries counts transient delivery failures absorbed for this send.
+	Retries int `json:"retries,omitempty"`
+	// Fault is the chaos fault spec that struck this event, if any.
+	Fault string `json:"fault,omitempty"`
+	// Detail carries kind-specific context (run meta, round statistics,
+	// abort causes).
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightRunMeta identifies one recorded run.
+type FlightRunMeta struct {
+	Run       int    `json:"run"`
+	Root      int64  `json:"root"`
+	Kernel    string `json:"kernel"`
+	Nodes     int    `json:"nodes"`
+	Transport string `json:"transport"`
+}
+
+// FlightDump is the schema-versioned export of a recorder's contents.
+type FlightDump struct {
+	Schema int             `json:"schema"`
+	Runs   []FlightRunMeta `json:"runs"`
+	// Dropped counts events lost to ring overflow (oldest first). A
+	// nonzero value voids the byte-identity guarantee: which events
+	// survived depends on cross-stream arrival order.
+	Dropped int64         `json:"dropped_events"`
+	Events  []FlightEvent `json:"events"`
+	// Aborted and Cause are stamped by the post-mortem path when the dump
+	// was taken because a run tore down.
+	Aborted bool   `json:"aborted,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+}
+
+// flightStream keys one delivery stream's op counter. Wire and channel are
+// the stable string names, so the coordinates survive serialization.
+type flightStream struct {
+	level         int
+	wire, channel string
+	peer          int // -1 for send streams (peer is not part of the key)
+}
+
+// flightRing is one node's event ring plus its per-run op counters. Each
+// ring has its own mutex, so nodes never contend with each other on the
+// hot record path.
+type flightRing struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	next  int   // write cursor once the ring is full
+	total int64 // events ever recorded (total - len(buf) were dropped)
+	ops   map[flightStream]int
+}
+
+func (rg *flightRing) push(capacity int, ev FlightEvent) {
+	rg.total++
+	if len(rg.buf) < capacity {
+		rg.buf = append(rg.buf, ev)
+		return
+	}
+	rg.buf[rg.next] = ev
+	rg.next = (rg.next + 1) % capacity
+}
+
+// nextOp returns and advances the stream's op counter. Caller holds rg.mu.
+func (rg *flightRing) nextOp(s flightStream) int {
+	if rg.ops == nil {
+		rg.ops = make(map[flightStream]int)
+	}
+	op := rg.ops[s]
+	rg.ops[s] = op + 1
+	return op
+}
+
+// FlightRecorder is the machine's black box: one ring per node plus a
+// machine ring (index 0) for lifecycle and chaos events. All methods are
+// safe for concurrent use and tolerate a nil receiver at zero cost.
+type FlightRecorder struct {
+	capacity int
+
+	mu    sync.RWMutex
+	rings []*flightRing // rings[0] = machine, rings[node+1] = node
+	runs  []FlightRunMeta
+	run   int
+}
+
+// NewFlightRecorder builds a recorder with the given per-node ring
+// capacity (0 selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{capacity: capacity, rings: []*flightRing{{}}}
+}
+
+// BeginRun opens a new run: ring contents are retained (the black box
+// spans runs) but every per-stream op counter resets, and subsequent
+// events are stamped with the new run index.
+func (fr *FlightRecorder) BeginRun(root int64, kernel string, nodes int, transport string) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.growLocked(nodes) // node indices 0..nodes-1 → rings 1..nodes
+	fr.run = len(fr.runs)
+	fr.runs = append(fr.runs, FlightRunMeta{
+		Run: fr.run, Root: root, Kernel: kernel, Nodes: nodes, Transport: transport,
+	})
+	rings := fr.rings
+	fr.mu.Unlock()
+	for _, rg := range rings {
+		rg.mu.Lock()
+		rg.ops = nil
+		rg.mu.Unlock()
+	}
+	fr.Control(FlightRunStart, -1, -1, fmt.Sprintf("root=%d kernel=%s transport=%s nodes=%d",
+		root, kernel, transport, nodes))
+}
+
+// growLocked ensures rings exist for node indices < nodes. Caller holds
+// fr.mu for writing.
+func (fr *FlightRecorder) growLocked(nodes int) {
+	for len(fr.rings) < nodes+1 {
+		fr.rings = append(fr.rings, &flightRing{})
+	}
+}
+
+// ring returns the ring for a node index (-1 = machine) and the current
+// run, growing the ring table if a node was never announced via BeginRun.
+func (fr *FlightRecorder) ring(node int) (*flightRing, int) {
+	idx := node + 1
+	if idx < 0 {
+		idx = 0
+	}
+	fr.mu.RLock()
+	run := fr.run
+	if idx < len(fr.rings) {
+		rg := fr.rings[idx]
+		fr.mu.RUnlock()
+		return rg, run
+	}
+	fr.mu.RUnlock()
+	fr.mu.Lock()
+	fr.growLocked(idx)
+	rg, run := fr.rings[idx], fr.run
+	fr.mu.Unlock()
+	return rg, run
+}
+
+// Send records one logical batch delivery by node. The op ordinal comes
+// from the node's (level, wire, channel) send-stream counter — the same
+// coordinate the chaos grammar addresses, so `fault` (when set) names
+// exactly this event.
+func (fr *FlightRecorder) Send(node, peer, level, pairs, retries int, wire, channel, fault string) {
+	if fr == nil {
+		return
+	}
+	rg, run := fr.ring(node)
+	rg.mu.Lock()
+	op := rg.nextOp(flightStream{level: level, wire: wire, channel: channel, peer: -1})
+	rg.push(fr.capacity, FlightEvent{
+		Run: run, Node: node, Kind: FlightSend, Level: level,
+		Wire: wire, Channel: channel, Peer: peer, Op: op,
+		Pairs: pairs, Retries: retries, Fault: fault,
+	})
+	rg.mu.Unlock()
+}
+
+// Recv records one batch received by node from peer. The op ordinal comes
+// from the node's (level, wire, channel, peer) receive-stream counter:
+// per-source delivery order is FIFO, so the numbering is deterministic
+// even though arrivals from different sources interleave freely.
+func (fr *FlightRecorder) Recv(node, peer, level, pairs int, wire, channel string) {
+	fr.recvKind(FlightRecv, node, peer, level, pairs, wire, channel)
+}
+
+// DupDrop records node discarding a chaos-duplicated delivery from peer.
+func (fr *FlightRecorder) DupDrop(node, peer, level, pairs int, wire, channel string) {
+	fr.recvKind(FlightDupDrop, node, peer, level, pairs, wire, channel)
+}
+
+func (fr *FlightRecorder) recvKind(kind string, node, peer, level, pairs int, wire, channel string) {
+	if fr == nil {
+		return
+	}
+	rg, run := fr.ring(node)
+	rg.mu.Lock()
+	op := rg.nextOp(flightStream{level: level, wire: wire, channel: channel, peer: peer})
+	rg.push(fr.capacity, FlightEvent{
+		Run: run, Node: node, Kind: kind, Level: level,
+		Wire: wire, Channel: channel, Peer: peer, Op: op, Pairs: pairs,
+	})
+	rg.mu.Unlock()
+}
+
+// Inject records one chaos fault firing. The event lands in the machine
+// ring — low-volume, so injections survive even when a node's delivery
+// ring has wrapped — but carries the struck node for the timeline.
+func (fr *FlightRecorder) Inject(node, level int, fault string) {
+	if fr == nil {
+		return
+	}
+	rg, run := fr.ring(-1)
+	rg.mu.Lock()
+	rg.push(fr.capacity, FlightEvent{
+		Run: run, Node: node, Kind: FlightInject, Level: level, Peer: -1, Fault: fault,
+	})
+	rg.mu.Unlock()
+}
+
+// Control records a lifecycle event (round windows, watchdog activity,
+// straggler flags, aborts) in the machine ring.
+func (fr *FlightRecorder) Control(kind string, node, level int, detail string) {
+	if fr == nil {
+		return
+	}
+	rg, run := fr.ring(-1)
+	rg.mu.Lock()
+	rg.push(fr.capacity, FlightEvent{
+		Run: run, Node: node, Kind: kind, Level: level, Peer: -1, Detail: detail,
+	})
+	rg.mu.Unlock()
+}
+
+// TotalDropped reports how many events have been lost to ring overflow.
+func (fr *FlightRecorder) TotalDropped() int64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.RLock()
+	rings := append([]*flightRing(nil), fr.rings...)
+	fr.mu.RUnlock()
+	var dropped int64
+	for _, rg := range rings {
+		rg.mu.Lock()
+		dropped += rg.total - int64(len(rg.buf))
+		rg.mu.Unlock()
+	}
+	return dropped
+}
+
+// Dump snapshots the recorder into a canonical, schema-versioned export.
+// It is non-destructive: recording continues and a later Dump sees the
+// same events again (plus newer ones). Events are sorted into the
+// canonical order — (run, level, node, kind, wire, channel, peer, op) —
+// and sequence numbers assigned, so identical event sets serialize to
+// identical bytes regardless of host scheduling.
+func (fr *FlightRecorder) Dump() *FlightDump {
+	d := &FlightDump{Schema: FlightSchemaVersion}
+	if fr == nil {
+		return d
+	}
+	fr.mu.RLock()
+	rings := append([]*flightRing(nil), fr.rings...)
+	d.Runs = append([]FlightRunMeta(nil), fr.runs...)
+	fr.mu.RUnlock()
+
+	for _, rg := range rings {
+		rg.mu.Lock()
+		d.Events = append(d.Events, rg.buf...)
+		d.Dropped += rg.total - int64(len(rg.buf))
+		rg.mu.Unlock()
+	}
+	sort.Slice(d.Events, func(i, j int) bool {
+		a, b := &d.Events[i], &d.Events[j]
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		ra, rb := flightKindRank[a.Kind], flightKindRank[b.Kind]
+		if ra != rb {
+			return ra < rb
+		}
+		if a.Wire != b.Wire {
+			return a.Wire < b.Wire
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Fault != b.Fault {
+			return a.Fault < b.Fault
+		}
+		return a.Detail < b.Detail
+	})
+	for i := range d.Events {
+		d.Events[i].Seq = i
+	}
+	return d
+}
+
+// WriteFlightDump serializes a dump as indented JSON — the byte-stable
+// format the determinism tests compare and /debug/flight serves.
+func WriteFlightDump(w io.Writer, d *FlightDump) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("obs: encoding flight dump: %w", err)
+	}
+	return nil
+}
+
+// WriteFlightDumpFile writes a dump to path (the -flight-dump flags and
+// the abort post-mortem path).
+func WriteFlightDumpFile(path string, d *FlightDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: writing flight dump: %w", err)
+	}
+	if err := WriteFlightDump(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: writing flight dump: %w", err)
+	}
+	return nil
+}
+
+// ReadFlightDump parses a dump and validates its schema version.
+func ReadFlightDump(r io.Reader) (*FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: decoding flight dump: %w", err)
+	}
+	if d.Schema != FlightSchemaVersion {
+		return nil, fmt.Errorf("obs: flight dump schema %d, this build reads %d", d.Schema, FlightSchemaVersion)
+	}
+	return &d, nil
+}
+
+// ReadFlightDumpFile reads a dump from path.
+func ReadFlightDumpFile(path string) (*FlightDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading flight dump: %w", err)
+	}
+	defer f.Close()
+	return ReadFlightDump(f)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// seedFlight records a small deterministic event mix across two nodes.
+func seedFlight() *FlightRecorder {
+	fr := NewFlightRecorder(0)
+	fr.BeginRun(17, "bfs", 2, "direct")
+	fr.Send(1, 0, 0, 3, 0, "data", "forward", "")
+	fr.Send(0, 1, 0, 5, 1, "data", "forward", "sendfail@0:l0:data/forward:0")
+	fr.Recv(0, 1, 0, 3, "data", "forward")
+	fr.Recv(1, 0, 0, 5, "data", "forward")
+	fr.DupDrop(1, 0, 0, 5, "data", "forward")
+	fr.Inject(0, 0, "sendfail@0:l0:data/forward:0")
+	fr.Control(FlightRoundClose, -1, 0, "dir=topdown frontier=1 edges=3")
+	return fr
+}
+
+// TestFlightWrapAround hammers a tiny ring from concurrent writers while
+// dumping concurrently — the -race coverage of the hot record path — and
+// checks overflow is accounted, not silently absorbed.
+func TestFlightWrapAround(t *testing.T) {
+	const capacity = 8
+	fr := NewFlightRecorder(capacity)
+	fr.BeginRun(1, "bfs", 2, "direct")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := w % 2
+			for i := 0; i < 200; i++ {
+				fr.Send(node, 1-node, 0, 1, 0, "data", "forward", "")
+				fr.Recv(node, 1-node, 0, 1, "data", "forward")
+			}
+		}(w)
+	}
+	// Dumps race the writers: Dump must stay consistent mid-flight.
+	for i := 0; i < 5; i++ {
+		if d := fr.Dump(); d.Schema != FlightSchemaVersion {
+			t.Fatalf("mid-flight dump schema = %d", d.Schema)
+		}
+	}
+	wg.Wait()
+
+	dropped := fr.TotalDropped()
+	if dropped == 0 {
+		t.Fatal("1600 events through capacity-8 rings dropped nothing")
+	}
+	d := fr.Dump()
+	if d.Dropped != dropped {
+		t.Fatalf("dump dropped %d, recorder reports %d", d.Dropped, dropped)
+	}
+	// Two node rings at capacity plus the machine ring's run-start.
+	if want := 2*capacity + 1; len(d.Events) != want {
+		t.Fatalf("dump has %d events, want %d", len(d.Events), want)
+	}
+}
+
+// TestFlightDumpCanonical checks Dump is non-destructive and sorts into
+// the canonical order with dense sequence numbers, so repeated dumps of
+// the same recorder serialize identically.
+func TestFlightDumpCanonical(t *testing.T) {
+	fr := seedFlight()
+	var a, b bytes.Buffer
+	if err := WriteFlightDump(&a, fr.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFlightDump(&b, fr.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two dumps of an idle recorder differ")
+	}
+
+	d := fr.Dump()
+	if d.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", d.Dropped)
+	}
+	prevLevel := -1 << 30
+	for i, ev := range d.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Level < prevLevel {
+			t.Fatalf("levels out of order at seq %d: %d after %d", i, ev.Level, prevLevel)
+		}
+		prevLevel = ev.Level
+	}
+	// Recording after a dump keeps going: the black box is not drained.
+	fr.Send(0, 1, 1, 1, 0, "data", "forward", "")
+	if got := len(fr.Dump().Events); got != len(d.Events)+1 {
+		t.Fatalf("post-dump recording lost events: %d, want %d", got, len(d.Events)+1)
+	}
+}
+
+func TestFlightJSONRoundTrip(t *testing.T) {
+	d := seedFlight().Dump()
+	d.Aborted = true
+	d.Cause = "test cause"
+	var buf bytes.Buffer
+	if err := WriteFlightDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", d, back)
+	}
+
+	var bad bytes.Buffer
+	if err := WriteFlightDump(&bad, &FlightDump{Schema: FlightSchemaVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightDump(&bad); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestFlightNilRecorder: every method on a nil recorder is a no-op — the
+// always-on contract must cost nothing when nothing is attached.
+func TestFlightNilRecorder(t *testing.T) {
+	var fr *FlightRecorder
+	fr.BeginRun(1, "bfs", 2, "direct")
+	fr.Send(0, 1, 0, 1, 0, "data", "forward", "")
+	fr.Recv(1, 0, 0, 1, "data", "forward")
+	fr.DupDrop(1, 0, 0, 1, "data", "forward")
+	fr.Inject(0, 0, "kill@0:l0:data/forward:0")
+	fr.Control(FlightAbort, -1, 0, "cause")
+	if fr.TotalDropped() != 0 {
+		t.Fatal("nil recorder dropped events")
+	}
+	d := fr.Dump()
+	if d.Schema != FlightSchemaVersion || len(d.Events) != 0 || len(d.Runs) != 0 {
+		t.Fatalf("nil recorder dump = %+v", d)
+	}
+}
+
+// TestFlightServeEndpoint: /debug/flight serves the attached recorder's
+// dump and 404s when no recorder is attached.
+func TestFlightServeEndpoint(t *testing.T) {
+	o := New()
+	o.Flight = seedFlight()
+	rr := httptest.NewRecorder()
+	NewMux(o).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/flight = %d, want 200", rr.Code)
+	}
+	d, err := ReadFlightDump(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Runs) != 1 || d.Runs[0].Root != 17 {
+		t.Fatalf("served dump runs = %+v", d.Runs)
+	}
+
+	bare := httptest.NewRecorder()
+	NewMux(New()).ServeHTTP(bare, httptest.NewRequest("GET", "/debug/flight", nil))
+	if bare.Code != 404 {
+		t.Fatalf("detached /debug/flight = %d, want 404", bare.Code)
+	}
+}

@@ -50,6 +50,12 @@ type Observer struct {
 	// Progress fans live per-level progress out to subscribers (the
 	// /events endpoint of the telemetry server).
 	Progress *ProgressBroker
+	// Flight is the black-box event recorder drained into post-mortem
+	// dumps on abort and served at /debug/flight. The engines allocate a
+	// private recorder when this is nil — flight recording is always on —
+	// so attach one here only to share it with the telemetry server or a
+	// -flight-dump flag.
+	Flight *FlightRecorder
 }
 
 // New returns an Observer with the metrics and trace sinks enabled (the
@@ -89,4 +95,12 @@ func (o *Observer) ProgressOf() *ProgressBroker {
 		return nil
 	}
 	return o.Progress
+}
+
+// FlightOf returns o.Flight, tolerating a nil receiver.
+func (o *Observer) FlightOf() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }

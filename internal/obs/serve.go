@@ -15,6 +15,7 @@ import (
 //	/metrics       Prometheus text exposition of the metrics registry
 //	/traces        completed RunTraces as JSON ({"runs": [...]})
 //	/events        live run progress as Server-Sent Events
+//	/debug/flight  flight-recorder dump as JSON (post-mortem black box)
 //	/debug/pprof/  net/http/pprof of the simulator process
 type Server struct {
 	http *http.Server
@@ -36,6 +37,7 @@ func NewMux(o *Observer) *http.ServeMux {
 		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
 		fmt.Fprintln(w, "  /traces       completed per-level BFS traces (JSON)")
 		fmt.Fprintln(w, "  /events       live run progress (SSE)")
+		fmt.Fprintln(w, "  /debug/flight flight-recorder dump (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/ host-side profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -61,6 +63,15 @@ func NewMux(o *Observer) *http.ServeMux {
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(w, r, o.ProgressOf())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		fr := o.FlightOf()
+		if fr == nil {
+			http.Error(w, "flight recorder not attached to this observer", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteFlightDump(w, fr.Dump())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

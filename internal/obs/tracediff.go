@@ -210,12 +210,33 @@ func summarizeChrome(events []chromeEvent) ([]RunSummary, error) {
 	return out, nil
 }
 
-// WriteTraceDiff aligns two summarized benchmarks run by run (in recording
-// order) and level by level (by level number) and renders a delta table.
+// WriteTraceDiff aligns two summarized benchmarks run by run and level by
+// level (by level number) and renders a delta table. Runs are paired by
+// their root vertex whenever both sides' root lists are duplicate-free, so
+// traces whose -roots samples landed in a different order still line up;
+// when either side reuses a root, pairing falls back to recording order.
 // labelA/labelB name the two sides in the output header ("before"/"after",
 // file names, ...).
 func WriteTraceDiff(w io.Writer, a, b []RunSummary, labelA, labelB string) {
 	fmt.Fprintf(w, "trace diff: A=%s (%d runs)  B=%s (%d runs)\n", labelA, len(a), labelB, len(b))
+	if bIdx, ok := rootIndex(a, b); ok {
+		matchedB := make([]bool, len(b))
+		for i := range a {
+			j, ok := bIdx[a[i].Root]
+			if !ok {
+				fmt.Fprintf(w, "\nrun %d: only in A (root %d)\n", i, a[i].Root)
+				continue
+			}
+			matchedB[j] = true
+			diffRun(w, i, a[i], b[j])
+		}
+		for j := range b {
+			if !matchedB[j] {
+				fmt.Fprintf(w, "\nrun %d: only in B (root %d)\n", j, b[j].Root)
+			}
+		}
+		return
+	}
 	n := len(a)
 	if len(b) > n {
 		n = len(b)
@@ -231,6 +252,28 @@ func WriteTraceDiff(w io.Writer, a, b []RunSummary, labelA, labelB string) {
 		}
 		diffRun(w, i, a[i], b[i])
 	}
+}
+
+// rootIndex maps B's roots to their run indices when root-based alignment
+// is well-defined — i.e. neither side ran the same root twice. A duplicate
+// on either side makes "the run with root r" ambiguous, so alignment
+// degrades to positional pairing.
+func rootIndex(a, b []RunSummary) (map[int64]int, bool) {
+	seenA := make(map[int64]bool, len(a))
+	for i := range a {
+		if seenA[a[i].Root] {
+			return nil, false
+		}
+		seenA[a[i].Root] = true
+	}
+	idx := make(map[int64]int, len(b))
+	for j := range b {
+		if _, dup := idx[b[j].Root]; dup {
+			return nil, false
+		}
+		idx[b[j].Root] = j
+	}
+	return idx, true
 }
 
 func diffRun(w io.Writer, idx int, a, b RunSummary) {

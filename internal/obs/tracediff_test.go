@@ -134,6 +134,53 @@ func TestTraceDiffRunsGolden(t *testing.T) {
 	checkGolden(t, "tracediff_runs.golden", out.Bytes())
 }
 
+// TestTraceDiffRootAlignment checks runs are paired by root vertex when the
+// two sides recorded the same roots in a different order, and that
+// single-sided roots surface as "only in" lines.
+func TestTraceDiffRootAlignment(t *testing.T) {
+	mk := func(root int64, wall float64) RunSummary {
+		return RunSummary{Root: root, TotalSeconds: wall, Levels: []LevelSummary{
+			{Level: 0, Direction: "topdown", WallSeconds: wall, Frontier: 1, Edges: 10, NetworkBytes: 100},
+		}}
+	}
+	a := []RunSummary{mk(7, 10e-6), mk(9, 20e-6), mk(11, 5e-6)}
+	b := []RunSummary{mk(9, 20e-6), mk(7, 10e-6), mk(13, 8e-6)}
+
+	var out bytes.Buffer
+	WriteTraceDiff(&out, a, b, "A", "B")
+	text := out.String()
+	for _, want := range []string{
+		"run 0: root 7 vs root 7",
+		"run 1: root 9 vs root 9",
+		"run 2: only in A (root 11)",
+		"run 2: only in B (root 13)",
+	} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Errorf("aligned diff missing %q:\n%s", want, text)
+		}
+	}
+	if bytes.Contains(out.Bytes(), []byte("root 7 vs root 9")) {
+		t.Errorf("runs paired positionally despite distinct roots:\n%s", text)
+	}
+}
+
+// TestTraceDiffDuplicateRootsFallback checks alignment degrades to
+// recording order when a side samples the same root twice — "the run with
+// root r" is ambiguous there.
+func TestTraceDiffDuplicateRootsFallback(t *testing.T) {
+	mk := func(root int64, wall float64) RunSummary {
+		return RunSummary{Root: root, TotalSeconds: wall}
+	}
+	a := []RunSummary{mk(7, 10e-6), mk(7, 12e-6)}
+	b := []RunSummary{mk(9, 20e-6), mk(7, 10e-6)}
+
+	var out bytes.Buffer
+	WriteTraceDiff(&out, a, b, "A", "B")
+	if !bytes.Contains(out.Bytes(), []byte("run 0: root 7 vs root 9")) {
+		t.Errorf("duplicate roots should fall back to positional pairing:\n%s", out.String())
+	}
+}
+
 // TestTraceDiffCrossFormat checks a chrome export diffs cleanly against a
 // runs dump of the same benchmark: level rows align, module rows appear
 // one-sided.

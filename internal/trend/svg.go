@@ -1,0 +1,167 @@
+package trend
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG rendering of the history view: one sparkline panel per scenario,
+// suitable for embedding in a README or dashboard. Output is fully
+// deterministic — fixed layout, fixed palette, fixed-precision
+// coordinates — so regenerating from the same snapshots is byte-stable
+// and diffs only when the data does.
+
+// Panel geometry (pixels). One panel per scenario, stacked vertically.
+const (
+	svgWidth       = 640
+	svgPanelHeight = 56
+	svgPanelGap    = 8
+	svgPlotLeft    = 200 // label gutter
+	svgPlotRight   = 96  // latest-value gutter
+	svgPlotPadY    = 10
+)
+
+// svgPalette cycles per scenario. Fixed order keeps output deterministic.
+var svgPalette = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+// svgNum renders a pixel coordinate with fixed precision so identical
+// inputs always serialize to identical bytes.
+func svgNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	// Normalize the negative-zero artifact of rounding tiny negatives.
+	if s == "-0.00" {
+		s = "0.00"
+	}
+	return s
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteHistorySVG renders the trajectory as an SVG document: one panel per
+// scenario with a polyline sparkline scaled to that scenario's own
+// min..max (matching the text Sparkline), the first and latest GTEPS, and
+// the overall movement. Snapshots a scenario missed break the polyline
+// into separate segments; isolated points render as dots.
+func WriteHistorySVG(w io.Writer, hist []ScenarioHistory) error {
+	if len(hist) == 0 {
+		return fmt.Errorf("trend: no scenario histories to render")
+	}
+	n := len(hist[0].Points)
+	height := len(hist)*(svgPanelHeight+svgPanelGap) + svgPanelGap + 24
+	ew := &svgWriter{w: w}
+	ew.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="monospace" font-size="12">`+"\n",
+		svgWidth, height, svgWidth, height)
+	ew.printf(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", svgWidth, height)
+	ew.printf(`<text x="%d" y="16" fill="#111827">GTEPS history over %d snapshots (%s .. %s)</text>`+"\n",
+		svgPanelGap, n, svgEscape(hist[0].Points[0].Label), svgEscape(hist[0].Points[n-1].Label))
+
+	plotW := float64(svgWidth - svgPlotLeft - svgPlotRight)
+	for i, h := range hist {
+		top := float64(24 + svgPanelGap + i*(svgPanelHeight+svgPanelGap))
+		color := svgPalette[i%len(svgPalette)]
+		lo, hi, any := scenarioRange(h.Points)
+		midY := top + float64(svgPanelHeight)/2
+
+		ew.printf(`<text x="%d" y="%s" fill="#111827">%s</text>`+"\n",
+			svgPanelGap, svgNum(midY+4), svgEscape(h.Name))
+		if !any {
+			ew.printf(`<text x="%d" y="%s" fill="#9ca3af">no data</text>`+"\n",
+				svgPlotLeft, svgNum(midY+4))
+			continue
+		}
+
+		// Pixel position of point j; y scaled to this scenario's range, flat
+		// sequences sit at mid height like the text sparkline.
+		x := func(j int) float64 {
+			if n == 1 {
+				return float64(svgPlotLeft) + plotW/2
+			}
+			return float64(svgPlotLeft) + plotW*float64(j)/float64(n-1)
+		}
+		y := func(v float64) float64 {
+			if hi == lo {
+				return midY
+			}
+			usable := float64(svgPanelHeight - 2*svgPlotPadY)
+			return top + float64(svgPlotPadY) + usable*(1-(v-lo)/(hi-lo))
+		}
+
+		// Split the sequence at gaps: each run of consecutive present
+		// points becomes one polyline (or a dot when it is a single point).
+		var seg []string
+		var segLen int
+		flush := func() {
+			switch {
+			case segLen == 1:
+				// A polyline with one point renders nothing; use a dot.
+				xy := strings.Split(seg[0], ",")
+				ew.printf(`<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			case segLen > 1:
+				ew.printf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(seg, " "), color)
+			}
+			seg, segLen = nil, 0
+		}
+		var first, last HistoryPoint
+		haveFirst := false
+		for j, p := range h.Points {
+			if !p.OK {
+				flush()
+				continue
+			}
+			if !haveFirst {
+				first, haveFirst = p, true
+			}
+			last = p
+			seg = append(seg, svgNum(x(j))+","+svgNum(y(p.GTEPS)))
+			segLen++
+		}
+		flush()
+
+		delta := "0.0%"
+		if first.GTEPS != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (last.GTEPS-first.GTEPS)/first.GTEPS*100)
+		}
+		ew.printf(`<text x="%d" y="%s" fill="#111827">%.4f</text>`+"\n",
+			svgWidth-svgPlotRight+svgPanelGap, svgNum(midY-2), last.GTEPS)
+		ew.printf(`<text x="%d" y="%s" fill="#6b7280">%s</text>`+"\n",
+			svgWidth-svgPlotRight+svgPanelGap, svgNum(midY+12), svgEscape(delta))
+	}
+	ew.printf("</svg>\n")
+	return ew.err
+}
+
+// scenarioRange finds the min/max GTEPS of the present points.
+func scenarioRange(points []HistoryPoint) (lo, hi float64, any bool) {
+	for _, p := range points {
+		if !p.OK {
+			continue
+		}
+		if !any || p.GTEPS < lo {
+			lo = p.GTEPS
+		}
+		if !any || p.GTEPS > hi {
+			hi = p.GTEPS
+		}
+		any = true
+	}
+	return lo, hi, any
+}
+
+// svgWriter remembers the first write error so the render loop stays
+// uncluttered.
+type svgWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *svgWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

@@ -1,0 +1,86 @@
+package trend
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteHistorySVG(t *testing.T) {
+	dir := writeSeq(t)
+	hist, err := History(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHistorySVG(&buf, hist); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"GTEPS history over 4 snapshots (BENCH_0.json .. BENCH_3.json)",
+		"direct",
+		"relay",
+		"<polyline",
+		"+50.0%", // direct: 0.010 -> 0.015
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	// Two scenarios, each a single unbroken run of points -> two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("got %d polylines, want 2:\n%s", got, out)
+	}
+
+	// Byte-determinism: a second render of the same history is identical.
+	var again bytes.Buffer
+	if err := WriteHistorySVG(&again, hist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same history differ")
+	}
+}
+
+// TestWriteHistorySVGGap checks a mid-sequence gap splits the sparkline
+// into separate polyline segments, and an isolated point becomes a dot.
+func TestWriteHistorySVGGap(t *testing.T) {
+	hist := []ScenarioHistory{{
+		Name: "gappy",
+		Points: []HistoryPoint{
+			{Label: "BENCH_0.json", GTEPS: 1, OK: true},
+			{Label: "BENCH_1.json", GTEPS: 2, OK: true},
+			{Label: "BENCH_2.json"},
+			{Label: "BENCH_3.json", GTEPS: 3, OK: true},
+			{Label: "BENCH_4.json", GTEPS: 4, OK: true},
+		},
+	}, {
+		Name: "lonely",
+		Points: []HistoryPoint{
+			{Label: "BENCH_0.json"},
+			{Label: "BENCH_1.json"},
+			{Label: "BENCH_2.json", GTEPS: 5, OK: true},
+			{Label: "BENCH_3.json"},
+			{Label: "BENCH_4.json"},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteHistorySVG(&buf, hist); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("gapped scenario should render 2 polyline segments, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Fatalf("isolated point should render as a dot:\n%s", out)
+	}
+}
+
+func TestWriteHistorySVGEmpty(t *testing.T) {
+	if err := WriteHistorySVG(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("empty history rendered without error")
+	}
+}

@@ -1,6 +1,8 @@
 package swbfs
 
 import (
+	"io"
+
 	"swbfs/internal/core"
 	"swbfs/internal/obs"
 )
@@ -52,3 +54,32 @@ type AbortError = core.AbortError
 // ErrLevelTimeout is the watchdog's abort cause: no level or round
 // completed within MachineConfig.LevelTimeout.
 var ErrLevelTimeout = core.ErrLevelTimeout
+
+// FlightRecorder is the always-on black box of the simulated machine: a
+// fixed-capacity per-node ring of structured events (sends and receives
+// with retry counts, chaos injections, duplicate drops, round windows,
+// watchdog activity). Runs allocate a private recorder automatically;
+// attach one to Observer.Flight to share it with the telemetry server
+// (/debug/flight) or to dump it yourself. On an aborted run the recorder
+// drains into AbortError.FlightDump (and MachineConfig.FlightDump names a
+// file to write it to). Render dumps with cmd/flightview. See
+// docs/OBSERVABILITY.md "Flight recorder & post-mortems".
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder builds a recorder with the given per-node ring
+// capacity (0 selects the default, obs.DefaultFlightCapacity events).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// FlightDump is the schema-versioned JSON export of a FlightRecorder:
+// canonical deterministic event order, so dumps from identical seeds and
+// configurations are byte-identical.
+type FlightDump = obs.FlightDump
+
+// FlightEvent is one recorded black-box event.
+type FlightEvent = obs.FlightEvent
+
+// WriteFlightDump serializes a dump as indented JSON.
+func WriteFlightDump(w io.Writer, d *FlightDump) error { return obs.WriteFlightDump(w, d) }
+
+// ReadFlightDump parses a dump and validates its schema version.
+func ReadFlightDump(r io.Reader) (*FlightDump, error) { return obs.ReadFlightDump(r) }
