@@ -21,10 +21,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The second pass forces multi-core scheduling so the Workers>1 parity
-# tests race the sharded generators and handler fan-out for real.
+# tests race the sharded generators and handler fan-out for real — for the
+# BFS engine, the kernel fan-outs, and the chaos x width parity sweep.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/algos/...
-	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/ ./internal/algos/
+	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/ ./internal/algos/ ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem .

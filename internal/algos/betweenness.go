@@ -23,6 +23,15 @@ import (
 // The backward filter needs no sender identity: rounds are synchronized to
 // one depth at a time, so a receiver accepts exactly when its own depth is
 // one less than the round's.
+//
+// Determinism: the frontier is a bitmap, not an insertion-ordered list, so
+// the forward send order is the ascending local scan regardless of batch
+// arrival order. Sigma values are integer-valued floats (path counts), so
+// their adds are exact and order-independent below 2^53; delta folds in
+// fixed point (deltaFix), since its payloads are true fractions whose
+// float sums would round differently per arrival order. Together these
+// make results and modelled traffic bitwise deterministic across runs and
+// worker widths.
 type bcNode struct {
 	ctx     *NodeCtx
 	sources []graph.Vertex
@@ -31,10 +40,13 @@ type bcNode struct {
 	// Per-source sweep state (local vertices).
 	dist  []int64
 	sigma []float64
-	delta []float64
+	// deltaFix is the dependency accumulator in fixed point
+	// (fixedPointScale); integer adds keep it arrival-order independent.
+	deltaFix []int64
 
-	// frontier of the current forward level.
-	frontier []int64
+	// frontier marks the current forward level; count is its population.
+	frontier *graph.Bitmap
+	count    int64
 	depth    int64 // current forward level / backward depth
 	maxDepth int64
 	backward bool
@@ -43,6 +55,10 @@ type bcNode struct {
 	bc []float64
 
 	done bool
+
+	// Reusable fan-out scratch (capacity kept across rounds).
+	staged  [][]stagedPair
+	buckets [][]localPair
 }
 
 // BCResult is the merged output.
@@ -69,12 +85,13 @@ func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResu
 	info, err := Run(cfg, g, RunOptions{Kernel: "betweenness", Root: sources[0]}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		bn := &bcNode{
-			ctx:     ctx,
-			sources: sources,
-			dist:    make([]int64, n),
-			sigma:   make([]float64, n),
-			delta:   make([]float64, n),
-			bc:      make([]float64, n),
+			ctx:      ctx,
+			sources:  sources,
+			dist:     make([]int64, n),
+			sigma:    make([]float64, n),
+			deltaFix: make([]int64, n),
+			frontier: graph.NewBitmap(n),
+			bc:       make([]float64, n),
 		}
 		bn.startSource()
 		nodes[ctx.ID] = bn
@@ -89,20 +106,31 @@ func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResu
 		Info:       info,
 	}
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
-	for v := graph.Vertex(0); int64(v) < g.N; v++ {
-		res.Centrality[v] = nodes[part.Owner(v)].bc[part.Local(v)]
-	}
+	forEachShard(g.N, nodes[0].ctx.Workers, func(_ int, lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			vv := graph.Vertex(v)
+			res.Centrality[v] = nodes[part.Owner(vv)].bc[part.Local(vv)]
+		}
+	})
 	return res, nil
+}
+
+// delta converts a local's fixed-point dependency back to float.
+func (b *bcNode) delta(local int64) float64 {
+	return float64(b.deltaFix[local]) / fixedPointScale
 }
 
 // startSource resets per-source state for sources[srcIdx].
 func (b *bcNode) startSource() {
-	for i := range b.dist {
-		b.dist[i] = -1
-		b.sigma[i] = 0
-		b.delta[i] = 0
-	}
-	b.frontier = b.frontier[:0]
+	forEachShard(int64(len(b.dist)), b.ctx.Workers, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			b.dist[i] = -1
+			b.sigma[i] = 0
+			b.deltaFix[i] = 0
+		}
+	})
+	b.frontier.Reset()
+	b.count = 0
 	b.depth = 0
 	b.maxDepth = 0
 	b.backward = false
@@ -111,7 +139,8 @@ func (b *bcNode) startSource() {
 		local := b.ctx.Part.Local(s)
 		b.dist[local] = 0
 		b.sigma[local] = 1
-		b.frontier = append(b.frontier, local)
+		b.frontier.Set(local)
+		b.count = 1
 	}
 }
 
@@ -123,18 +152,27 @@ func (b *bcNode) Active() int64 {
 }
 
 func (b *bcNode) Generate(round int, send Send) error {
+	if k := b.ctx.Workers; k > 1 {
+		return b.generateParallel(k, send)
+	}
 	if !b.backward {
 		// Forward: expand the depth-b.depth frontier.
-		for _, local := range b.frontier {
+		var failed error
+		b.frontier.ForEach(func(local int64) {
+			if failed != nil {
+				return
+			}
 			bits := graph.Vertex(math.Float64bits(b.sigma[local]))
 			for _, v := range b.ctx.Sub.Neighbors(local) {
 				if err := send(b.ctx.Part.Owner(v), comm.Pair{v, bits}); err != nil {
-					return err
+					failed = err
+					return
 				}
 			}
-		}
-		b.frontier = b.frontier[:0]
-		return nil
+		})
+		b.frontier.Reset()
+		b.count = 0
+		return failed
 	}
 	// Backward: vertices at the current depth broadcast their dependency
 	// coefficient to every neighbour; depth-(d-1) receivers filter.
@@ -142,7 +180,7 @@ func (b *bcNode) Generate(round int, send Send) error {
 		if b.dist[local] != b.depth || b.sigma[local] == 0 {
 			continue
 		}
-		coeff := (1 + b.delta[local]) / b.sigma[local]
+		coeff := (1 + b.delta(local)) / b.sigma[local]
 		bits := graph.Vertex(math.Float64bits(coeff))
 		for _, u := range b.ctx.Sub.Neighbors(local) {
 			if err := send(b.ctx.Part.Owner(u), comm.Pair{u, bits}); err != nil {
@@ -153,38 +191,139 @@ func (b *bcNode) Generate(round int, send Send) error {
 	return nil
 }
 
+// generateParallel fans both sweeps out over k workers with private
+// staging replayed in shard order — the serial ascending scan order in
+// either direction.
+func (b *bcNode) generateParallel(k int, send Send) error {
+	b.staged = takeShards(b.staged, k)
+	staged := b.staged
+	if !b.backward {
+		scanShards(b.frontier, k, func(shard int, local int64) {
+			bits := graph.Vertex(math.Float64bits(b.sigma[local]))
+			for _, v := range b.ctx.Sub.Neighbors(local) {
+				staged[shard] = append(staged[shard], stagedPair{
+					dst:  b.ctx.Part.Owner(v),
+					pair: comm.Pair{v, bits},
+				})
+			}
+		})
+		b.frontier.Reset()
+		b.count = 0
+		return replayStaged(staged, send)
+	}
+	forEachShard(b.ctx.Sub.NumVertices(), k, func(shard int, lo, hi int64) {
+		for local := lo; local < hi; local++ {
+			if b.dist[local] != b.depth || b.sigma[local] == 0 {
+				continue
+			}
+			coeff := (1 + b.delta(local)) / b.sigma[local]
+			bits := graph.Vertex(math.Float64bits(coeff))
+			for _, u := range b.ctx.Sub.Neighbors(local) {
+				staged[shard] = append(staged[shard], stagedPair{
+					dst:  b.ctx.Part.Owner(u),
+					pair: comm.Pair{u, bits},
+				})
+			}
+		}
+	})
+	return replayStaged(staged, send)
+}
+
 func (b *bcNode) Handle(round int, pairs []comm.Pair) error {
+	if k := b.ctx.Workers; k > 1 && len(pairs) >= handleFanoutMin {
+		b.handleParallel(k, pairs)
+		return nil
+	}
 	if !b.backward {
 		for _, p := range pairs {
-			v := p[0]
-			add := math.Float64frombits(uint64(p[1]))
-			local := b.ctx.Part.Local(v)
-			switch b.dist[local] {
-			case -1:
-				b.dist[local] = b.depth + 1
-				b.sigma[local] = add
-				b.frontier = append(b.frontier, local)
-			case b.depth + 1:
-				b.sigma[local] += add
-			}
+			b.handleForward(p, &b.count)
 		}
 		return nil
 	}
 	for _, p := range pairs {
-		u := p[0]
-		coeff := math.Float64frombits(uint64(p[1]))
-		local := b.ctx.Part.Local(u)
-		if b.dist[local] == b.depth-1 {
-			b.delta[local] += b.sigma[local] * coeff
-		}
+		b.handleBackward(p)
 	}
 	return nil
+}
+
+// handleForward folds one sigma message; count receives the discovery
+// increment (shard-private under fan-out).
+func (b *bcNode) handleForward(p comm.Pair, count *int64) {
+	b.foldForward(b.ctx.Part.Local(p[0]), p[1], count)
+}
+
+func (b *bcNode) foldForward(local int64, payload graph.Vertex, count *int64) {
+	add := math.Float64frombits(uint64(payload))
+	switch b.dist[local] {
+	case -1:
+		b.dist[local] = b.depth + 1
+		b.sigma[local] = add
+		b.frontier.Set(local)
+		*count++
+	case b.depth + 1:
+		b.sigma[local] += add
+	}
+}
+
+// handleBackward folds one dependency message in fixed point.
+func (b *bcNode) handleBackward(p comm.Pair) {
+	b.foldBackward(b.ctx.Part.Local(p[0]), p[1])
+}
+
+func (b *bcNode) foldBackward(local int64, payload graph.Vertex) {
+	if b.dist[local] == b.depth-1 {
+		coeff := math.Float64frombits(uint64(payload))
+		b.deltaFix[local] += int64(b.sigma[local] * coeff * fixedPointScale)
+	}
+}
+
+// handleParallel buckets the batch by destination vertex shard in one
+// serial pass and folds the buckets concurrently: per-vertex update order
+// equals the serial pair order, frontier bitmap words are never shared,
+// and the per-shard discovery counts sum into the frontier population.
+func (b *bcNode) handleParallel(k int, pairs []comm.Pair) {
+	per, k := vertexShardWidth(int64(len(b.dist)), k)
+	if k <= 1 {
+		if !b.backward {
+			for _, p := range pairs {
+				b.handleForward(p, &b.count)
+			}
+			return
+		}
+		for _, p := range pairs {
+			b.handleBackward(p)
+		}
+		return
+	}
+	b.buckets = takeShards(b.buckets, k)
+	buckets := b.buckets
+	for _, p := range pairs {
+		l := b.ctx.Part.Local(p[0])
+		buckets[l/per] = append(buckets[l/per], localPair{l, p[1]})
+	}
+	if !b.backward {
+		counts := make([]int64, k)
+		applyBuckets(buckets, func(shard int, bucket []localPair) {
+			for _, lp := range bucket {
+				b.foldForward(lp.local, lp.val, &counts[shard])
+			}
+		})
+		for _, c := range counts {
+			b.count += c
+		}
+		return
+	}
+	applyBuckets(buckets, func(_ int, bucket []localPair) {
+		for _, lp := range bucket {
+			b.foldBackward(lp.local, lp.val)
+		}
+	})
 }
 
 func (b *bcNode) EndRound(round int) error {
 	if !b.backward {
 		// Did the global frontier advance?
-		grew := b.ctx.Net.AllreduceSum(int64(len(b.frontier)))
+		grew := b.ctx.Net.AllreduceSum(b.count)
 		b.depth++
 		if grew > 0 {
 			return nil
@@ -210,11 +349,13 @@ func (b *bcNode) EndRound(round int) error {
 // depends only on synchronized state.
 func (b *bcNode) finishSource() error {
 	s := b.sources[b.srcIdx]
-	for local := int64(0); local < b.ctx.Sub.NumVertices(); local++ {
-		if b.dist[local] >= 0 && b.ctx.Global(local) != s {
-			b.bc[local] += b.delta[local]
+	forEachShard(b.ctx.Sub.NumVertices(), b.ctx.Workers, func(_ int, lo, hi int64) {
+		for local := lo; local < hi; local++ {
+			if b.dist[local] >= 0 && b.ctx.Global(local) != s {
+				b.bc[local] += b.delta(local)
+			}
 		}
-	}
+	})
 	b.srcIdx++
 	if b.srcIdx >= len(b.sources) {
 		b.done = true
@@ -225,7 +366,8 @@ func (b *bcNode) finishSource() error {
 }
 
 // ReferenceBetweenness is the sequential Brandes oracle over the same
-// sources (unnormalized, matching Betweenness).
+// sources (unnormalized, matching Betweenness up to the distributed
+// version's fixed-point dependency quantization).
 func ReferenceBetweenness(g *graph.CSR, sources []graph.Vertex) []float64 {
 	bc := make([]float64, g.N)
 	dist := make([]int64, g.N)

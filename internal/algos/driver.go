@@ -323,6 +323,7 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 			Root:            opts.Root,
 			Cause:           cause,
 			CompletedLevels: append([]perf.LevelStats(nil), info.Levels...),
+			Injections:      inj.Log(),
 		}
 		// Post-mortem, mirroring the BFS runner: stamp the abort, drain the
 		// black box, write the dump when a path was configured.
@@ -447,6 +448,7 @@ func buildSpans(engine perf.Engine, model perf.Model, info *RunInfo, nodes []*no
 				spans = append(spans, obs.ModuleSpan{
 					Node: n.ctx.ID, Module: obs.ModuleForwardHandler, Level: rw.round,
 					Start: levelStart, Dur: float64(rw.handler) / bw, Bytes: rw.handler,
+					Workers: attributed,
 				})
 			}
 		}

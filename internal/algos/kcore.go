@@ -2,6 +2,7 @@ package algos
 
 import (
 	"fmt"
+	"sort"
 
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
@@ -18,7 +19,12 @@ type kcoreNode struct {
 	alive   []bool
 	effdeg  []int64
 	dec     []int64
+	touched []int64 // locals with dec > 0 this round (unique, unsorted)
 	removal []int64 // local indices scheduled for removal this round
+
+	// Reusable fan-out scratch (capacity kept across rounds).
+	staged  [][]stagedPair
+	buckets [][]localPair
 }
 
 // KCoreResult is the merged output.
@@ -61,12 +67,20 @@ func KCore(cfg core.Config, g *graph.CSR, k int64) (*KCoreResult, error) {
 
 	res := &KCoreResult{InCore: make([]bool, g.N), Info: info}
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
-	for v := graph.Vertex(0); int64(v) < g.N; v++ {
-		in := nodes[part.Owner(v)].alive[part.Local(v)]
-		res.InCore[v] = in
-		if in {
-			res.CoreSize++
+	workers := nodes[0].ctx.Workers
+	sizes := make([]int64, workers)
+	forEachShard(g.N, workers, func(shard int, lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			vv := graph.Vertex(v)
+			in := nodes[part.Owner(vv)].alive[part.Local(vv)]
+			res.InCore[v] = in
+			if in {
+				sizes[shard]++
+			}
 		}
+	})
+	for _, s := range sizes {
+		res.CoreSize += s
 	}
 	return res, nil
 }
@@ -74,6 +88,9 @@ func KCore(cfg core.Config, g *graph.CSR, k int64) (*KCoreResult, error) {
 func (kn *kcoreNode) Active() int64 { return int64(len(kn.removal)) }
 
 func (kn *kcoreNode) Generate(round int, send Send) error {
+	if k := kn.ctx.Workers; k > 1 {
+		return kn.generateParallel(k, send)
+	}
 	for _, local := range kn.removal {
 		kn.alive[local] = false
 		for _, u := range kn.ctx.Sub.Neighbors(local) {
@@ -86,29 +103,97 @@ func (kn *kcoreNode) Generate(round int, send Send) error {
 	return nil
 }
 
+// generateParallel fans the removal fan-out over contiguous index shards
+// of the removal list (entries are unique, so the alive writes are
+// disjoint); shard-order replay reproduces the serial list order.
+func (kn *kcoreNode) generateParallel(k int, send Send) error {
+	kn.staged = takeShards(kn.staged, k)
+	staged := kn.staged
+	forEachShard(int64(len(kn.removal)), k, func(shard int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			local := kn.removal[i]
+			kn.alive[local] = false
+			for _, u := range kn.ctx.Sub.Neighbors(local) {
+				staged[shard] = append(staged[shard], stagedPair{
+					dst:  kn.ctx.Part.Owner(u),
+					pair: comm.Pair{u, 1},
+				})
+			}
+		}
+	})
+	kn.removal = kn.removal[:0]
+	return replayStaged(staged, send)
+}
+
 func (kn *kcoreNode) Handle(round int, pairs []comm.Pair) error {
-	for _, p := range pairs {
-		kn.dec[kn.ctx.Part.Local(p[0])]++
+	if k := kn.ctx.Workers; k > 1 && len(pairs) >= handleFanoutMin {
+		kn.handleParallel(k, pairs)
+		return nil
 	}
+	kn.handleSerial(pairs)
 	return nil
 }
 
-func (kn *kcoreNode) EndRound(round int) error {
-	for local := range kn.dec {
+func (kn *kcoreNode) handleSerial(pairs []comm.Pair) {
+	for _, p := range pairs {
+		local := kn.ctx.Part.Local(p[0])
 		if kn.dec[local] == 0 {
-			continue
+			kn.touched = append(kn.touched, local)
 		}
+		kn.dec[local]++
+	}
+}
+
+// handleParallel buckets the batch by destination vertex shard in one
+// serial pass and applies the buckets concurrently; per-shard touched
+// lists merge unordered (EndRound sorts).
+func (kn *kcoreNode) handleParallel(k int, pairs []comm.Pair) {
+	per, k := vertexShardWidth(int64(len(kn.dec)), k)
+	if k <= 1 {
+		kn.handleSerial(pairs)
+		return
+	}
+	kn.buckets = takeShards(kn.buckets, k)
+	buckets := kn.buckets
+	for _, p := range pairs {
+		l := kn.ctx.Part.Local(p[0])
+		buckets[l/per] = append(buckets[l/per], localPair{l, p[1]})
+	}
+	touched := make([][]int64, k)
+	applyBuckets(buckets, func(shard int, bucket []localPair) {
+		for _, lp := range bucket {
+			if kn.dec[lp.local] == 0 {
+				touched[shard] = append(touched[shard], lp.local)
+			}
+			kn.dec[lp.local]++
+		}
+	})
+	for _, t := range touched {
+		kn.touched = append(kn.touched, t...)
+	}
+}
+
+func (kn *kcoreNode) EndRound(round int) error {
+	// Fold only the locals that actually received decrements — O(messages),
+	// not O(n) per round. The touch order is batch-arrival order
+	// (nondeterministic), so sort before folding: removals then append in
+	// ascending local order, exactly as the old full-array scan did, which
+	// keeps the next round's send order — and so the modelled traffic —
+	// deterministic.
+	sort.Slice(kn.touched, func(i, j int) bool { return kn.touched[i] < kn.touched[j] })
+	for _, local := range kn.touched {
 		if kn.alive[local] {
 			before := kn.effdeg[local]
 			kn.effdeg[local] -= kn.dec[local]
 			// Schedule exactly on the downward crossing; vertices already
 			// queued (below k but still alive) must not be queued twice.
 			if before >= kn.k && kn.effdeg[local] < kn.k {
-				kn.removal = append(kn.removal, int64(local))
+				kn.removal = append(kn.removal, local)
 			}
 		}
 		kn.dec[local] = 0
 	}
+	kn.touched = kn.touched[:0]
 	return nil
 }
 

@@ -2,7 +2,6 @@ package algos
 
 import (
 	"fmt"
-	"math"
 
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
@@ -12,8 +11,11 @@ import (
 // DefaultDamping is the conventional PageRank damping factor.
 const DefaultDamping = 0.85
 
-// fixedPointScale converts rank mass to integers for the sum-allreduce
-// (dangling mass aggregation).
+// fixedPointScale converts rank mass to integers, both for the dangling
+// sum-allreduce and for the per-vertex contribution accumulator. Integer
+// addition is associative, so fixed-point folds are independent of both
+// batch arrival order and handler shard assignment — the property that
+// makes ranks bitwise deterministic across runs and worker widths.
 const fixedPointScale = float64(int64(1) << 40)
 
 // prNode runs push-based PageRank: each iteration, every vertex pushes
@@ -26,8 +28,17 @@ type prNode struct {
 	iterations int
 	iter       int
 	rank       []float64
-	acc        []float64
-	n          int64 // global vertex count
+	// acc accumulates received contributions in fixed point (see
+	// fixedPointScale): quantized once at the sender, summed as integers.
+	acc []int64
+	// dangling lists the degree-0 locals once, so the per-iteration
+	// dangling-mass scan is O(dangling), not O(n).
+	dangling []int64
+	n        int64 // global vertex count
+
+	// Reusable fan-out scratch (capacity kept across rounds).
+	staged  [][]stagedPair
+	buckets [][]localPair
 }
 
 // PageRankResult is the merged output.
@@ -58,11 +69,16 @@ func PageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64) (*
 			damping:    damping,
 			iterations: iterations,
 			rank:       make([]float64, nLocal),
-			acc:        make([]float64, nLocal),
+			acc:        make([]int64, nLocal),
 			n:          g.N,
 		}
 		for i := range pn.rank {
 			pn.rank[i] = 1 / float64(g.N)
+		}
+		for local := int64(0); local < nLocal; local++ {
+			if ctx.Sub.Degree(local) == 0 {
+				pn.dangling = append(pn.dangling, local)
+			}
 		}
 		nodes[ctx.ID] = pn
 		return pn, nil
@@ -73,9 +89,12 @@ func PageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64) (*
 
 	res := &PageRankResult{Rank: make([]float64, g.N), Info: info, Iterations: iterations}
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
-	for v := graph.Vertex(0); int64(v) < g.N; v++ {
-		res.Rank[v] = nodes[part.Owner(v)].rank[part.Local(v)]
-	}
+	forEachShard(g.N, nodes[0].ctx.Workers, func(_ int, lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			vv := graph.Vertex(v)
+			res.Rank[v] = nodes[part.Owner(vv)].rank[part.Local(vv)]
+		}
+	})
 	return res, nil
 }
 
@@ -86,16 +105,25 @@ func (p *prNode) Active() int64 {
 	return 0
 }
 
+// contribution quantizes one vertex's per-edge push to fixed point. The
+// quantization happens at the sender, so the wire carries the integer and
+// every receiver folds the exact same value.
+func (p *prNode) contribution(local int64, deg int64) graph.Vertex {
+	return graph.Vertex(p.rank[local] / float64(deg) * fixedPointScale)
+}
+
 func (p *prNode) Generate(round int, send Send) error {
+	if k := p.ctx.Workers; k > 1 {
+		return p.generateParallel(k, send)
+	}
 	for local := int64(0); local < p.ctx.Sub.NumVertices(); local++ {
 		deg := p.ctx.Sub.Degree(local)
 		if deg == 0 {
 			continue // dangling mass handled in EndRound
 		}
-		contrib := p.rank[local] / float64(deg)
-		bits := graph.Vertex(math.Float64bits(contrib))
+		contrib := p.contribution(local, deg)
 		for _, u := range p.ctx.Sub.Neighbors(local) {
-			if err := send(p.ctx.Part.Owner(u), comm.Pair{u, bits}); err != nil {
+			if err := send(p.ctx.Part.Owner(u), comm.Pair{u, contrib}); err != nil {
 				return err
 			}
 		}
@@ -103,38 +131,94 @@ func (p *prNode) Generate(round int, send Send) error {
 	return nil
 }
 
+// generateParallel fans the contribution push over k contiguous vertex
+// shards, staging privately and replaying in shard order — the serial
+// ascending-local emission sequence.
+func (p *prNode) generateParallel(k int, send Send) error {
+	p.staged = takeShards(p.staged, k)
+	staged := p.staged
+	forEachShard(p.ctx.Sub.NumVertices(), k, func(shard int, lo, hi int64) {
+		for local := lo; local < hi; local++ {
+			deg := p.ctx.Sub.Degree(local)
+			if deg == 0 {
+				continue
+			}
+			contrib := p.contribution(local, deg)
+			for _, u := range p.ctx.Sub.Neighbors(local) {
+				staged[shard] = append(staged[shard], stagedPair{
+					dst:  p.ctx.Part.Owner(u),
+					pair: comm.Pair{u, contrib},
+				})
+			}
+		}
+	})
+	return replayStaged(staged, send)
+}
+
 func (p *prNode) Handle(round int, pairs []comm.Pair) error {
+	if k := p.ctx.Workers; k > 1 && len(pairs) >= handleFanoutMin {
+		p.handleParallel(k, pairs)
+		return nil
+	}
 	for _, pr := range pairs {
-		u := pr[0]
-		contrib := math.Float64frombits(uint64(pr[1]))
-		p.acc[p.ctx.Part.Local(u)] += contrib
+		p.acc[p.ctx.Part.Local(pr[0])] += int64(pr[1])
 	}
 	return nil
 }
 
+// handleParallel buckets the batch by destination vertex shard in one
+// serial pass and folds the buckets concurrently. The integer adds are
+// order-independent anyway; the sharding exists so no two workers write
+// the same accumulator element.
+func (p *prNode) handleParallel(k int, pairs []comm.Pair) {
+	per, k := vertexShardWidth(int64(len(p.acc)), k)
+	if k <= 1 {
+		for _, pr := range pairs {
+			p.acc[p.ctx.Part.Local(pr[0])] += int64(pr[1])
+		}
+		return
+	}
+	p.buckets = takeShards(p.buckets, k)
+	buckets := p.buckets
+	for _, pr := range pairs {
+		l := p.ctx.Part.Local(pr[0])
+		buckets[l/per] = append(buckets[l/per], localPair{l, pr[1]})
+	}
+	applyBuckets(buckets, func(_ int, bucket []localPair) {
+		for _, lp := range bucket {
+			p.acc[lp.local] += int64(lp.val)
+		}
+	})
+}
+
 func (p *prNode) EndRound(round int) error {
 	// Dangling mass: collect the rank of degree-0 vertices machine-wide
-	// (fixed-point through the integer allreduce).
-	var danglingLocal float64
-	for local := int64(0); local < p.ctx.Sub.NumVertices(); local++ {
-		if p.ctx.Sub.Degree(local) == 0 {
-			danglingLocal += p.rank[local]
-		}
-	}
+	// (fixed-point through the integer allreduce). The local sum folds
+	// through the canonical chunk structure so its rounding is identical
+	// at every worker width.
+	danglingLocal := chunkedSum(int64(len(p.dangling)), p.ctx.Workers, func(i int64) float64 {
+		return p.rank[p.dangling[i]]
+	})
 	total := p.ctx.Net.AllreduceSum(int64(danglingLocal * fixedPointScale))
 	dangling := float64(total) / fixedPointScale
 
 	base := (1 - p.damping) / float64(p.n)
 	share := p.damping * dangling / float64(p.n)
-	for local := range p.rank {
-		p.rank[local] = base + p.damping*p.acc[local] + share
-		p.acc[local] = 0
-	}
+	forEachShard(int64(len(p.rank)), p.ctx.Workers, func(_ int, lo, hi int64) {
+		for local := lo; local < hi; local++ {
+			p.rank[local] = base + p.damping*(float64(p.acc[local])/fixedPointScale) + share
+			p.acc[local] = 0
+		}
+	})
 	p.iter++
 	return nil
 }
 
-// ReferencePageRank is the sequential oracle running the identical update.
+// ReferencePageRank is the sequential oracle running the identical update,
+// including the sender-side fixed-point contribution quantization, so
+// oracle comparisons use tight tolerances. (The distributed version
+// quantizes its dangling sum per node before the allreduce, which the
+// oracle cannot reproduce — the one remaining sub-1e-11 divergence.)
 func ReferencePageRank(g *graph.CSR, iterations int, damping float64) []float64 {
 	if damping == 0 {
 		damping = DefaultDamping
@@ -143,7 +227,7 @@ func ReferencePageRank(g *graph.CSR, iterations int, damping float64) []float64 
 	for i := range rank {
 		rank[i] = 1 / float64(g.N)
 	}
-	acc := make([]float64, g.N)
+	acc := make([]int64, g.N)
 	for it := 0; it < iterations; it++ {
 		var dangling float64
 		for v := graph.Vertex(0); int64(v) < g.N; v++ {
@@ -152,18 +236,17 @@ func ReferencePageRank(g *graph.CSR, iterations int, damping float64) []float64 
 				dangling += rank[v]
 				continue
 			}
-			contrib := rank[v] / float64(deg)
+			contrib := int64(rank[v] / float64(deg) * fixedPointScale)
 			for _, u := range g.Neighbors(v) {
 				acc[u] += contrib
 			}
 		}
-		// Match the fixed-point rounding of the distributed version so
-		// oracle comparisons use tight tolerances.
+		// Match the fixed-point rounding of the distributed version.
 		dangling = float64(int64(dangling*fixedPointScale)) / fixedPointScale
 		base := (1 - damping) / float64(g.N)
 		share := damping * dangling / float64(g.N)
 		for v := range rank {
-			rank[v] = base + damping*acc[v] + share
+			rank[v] = base + damping*(float64(acc[v])/fixedPointScale) + share
 			acc[v] = 0
 		}
 	}

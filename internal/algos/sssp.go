@@ -21,6 +21,9 @@ type ssspNode struct {
 	dist    []int64
 	active  *graph.Bitmap
 	pending int64
+
+	// Reusable staging scratch (capacity kept across rounds).
+	staged [][]stagedPair
 }
 
 // SSSPResult is the merged output.
@@ -105,7 +108,8 @@ func (s *ssspNode) Generate(round int, send Send) error {
 // stages in shard order, which equals the serial scan order — so every
 // modelled number is bit-identical across widths (see docs/ALGORITHMS.md).
 func (s *ssspNode) generateParallel(k int, send Send) error {
-	staged := make([][]stagedPair, k)
+	s.staged = takeShards(s.staged, k)
+	staged := s.staged
 	scanShards(s.active, k, func(shard int, local int64) {
 		d := s.dist[local]
 		lo, hi := s.ctx.Sub.RowPtr[local], s.ctx.Sub.RowPtr[local+1]
@@ -119,14 +123,7 @@ func (s *ssspNode) generateParallel(k int, send Send) error {
 	})
 	s.active.Reset()
 	s.pending = 0
-	for _, shard := range staged {
-		for _, sp := range shard {
-			if err := send(sp.dst, sp.pair); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return replayStaged(staged, send)
 }
 
 func (s *ssspNode) Handle(round int, pairs []comm.Pair) error {

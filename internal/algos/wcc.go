@@ -15,6 +15,10 @@ type wccNode struct {
 	label   []graph.Vertex
 	active  *graph.Bitmap
 	pending int64
+
+	// Reusable fan-out scratch (capacity kept across rounds).
+	staged  [][]stagedPair
+	buckets [][]localPair
 }
 
 // WCCResult is the merged output.
@@ -52,10 +56,16 @@ func WCC(cfg core.Config, g *graph.CSR) (*WCCResult, error) {
 
 	res := &WCCResult{Label: make([]graph.Vertex, g.N), Info: info}
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
+	// The gather is embarrassingly parallel (disjoint writes); the distinct
+	// count stays serial because it folds through one map.
+	forEachShard(g.N, nodes[0].ctx.Workers, func(_ int, lo, hi int64) {
+		for v := lo; v < hi; v++ {
+			vv := graph.Vertex(v)
+			res.Label[v] = nodes[part.Owner(vv)].label[part.Local(vv)]
+		}
+	})
 	seen := make(map[graph.Vertex]struct{})
-	for v := graph.Vertex(0); int64(v) < g.N; v++ {
-		l := nodes[part.Owner(v)].label[part.Local(v)]
-		res.Label[v] = l
+	for _, l := range res.Label {
 		if _, ok := seen[l]; !ok {
 			seen[l] = struct{}{}
 			res.Components++
@@ -67,6 +77,9 @@ func WCC(cfg core.Config, g *graph.CSR) (*WCCResult, error) {
 func (w *wccNode) Active() int64 { return w.pending }
 
 func (w *wccNode) Generate(round int, send Send) error {
+	if k := w.ctx.Workers; k > 1 {
+		return w.generateParallel(k, send)
+	}
 	var failed error
 	w.active.ForEach(func(local int64) {
 		if failed != nil {
@@ -85,7 +98,37 @@ func (w *wccNode) Generate(round int, send Send) error {
 	return failed
 }
 
+// generateParallel fans the active-bitmap scan over k workers: each worker
+// stages (dst, pair) privately for its word-aligned shard and the node
+// goroutine replays the stages in shard order — the serial ascending scan
+// order, so every batch boundary and modelled byte is bit-identical.
+func (w *wccNode) generateParallel(k int, send Send) error {
+	w.staged = takeShards(w.staged, k)
+	staged := w.staged
+	scanShards(w.active, k, func(shard int, local int64) {
+		l := w.label[local]
+		for _, u := range w.ctx.Sub.Neighbors(local) {
+			staged[shard] = append(staged[shard], stagedPair{
+				dst:  w.ctx.Part.Owner(u),
+				pair: comm.Pair{u, l},
+			})
+		}
+	})
+	w.active.Reset()
+	w.pending = 0
+	return replayStaged(staged, send)
+}
+
 func (w *wccNode) Handle(round int, pairs []comm.Pair) error {
+	if k := w.ctx.Workers; k > 1 && len(pairs) >= handleFanoutMin {
+		w.handleParallel(k, pairs)
+		return nil
+	}
+	w.handleSerial(pairs)
+	return nil
+}
+
+func (w *wccNode) handleSerial(pairs []comm.Pair) {
 	for _, p := range pairs {
 		u, l := p[0], p[1]
 		local := w.ctx.Part.Local(u)
@@ -97,7 +140,40 @@ func (w *wccNode) Handle(round int, pairs []comm.Pair) error {
 			}
 		}
 	}
-	return nil
+}
+
+// handleParallel buckets the batch by destination vertex shard in one
+// serial pass and folds the buckets concurrently: per-vertex update order
+// equals the serial pair order and the bitmap writes never share a word.
+// The min-fold itself is order-independent, which is what keeps the
+// result identical however the batch's pairs interleave across shards.
+func (w *wccNode) handleParallel(k int, pairs []comm.Pair) {
+	per, k := vertexShardWidth(int64(len(w.label)), k)
+	if k <= 1 {
+		w.handleSerial(pairs)
+		return
+	}
+	w.buckets = takeShards(w.buckets, k)
+	buckets := w.buckets
+	for _, p := range pairs {
+		l := w.ctx.Part.Local(p[0])
+		buckets[l/per] = append(buckets[l/per], localPair{l, p[1]})
+	}
+	activated := make([]int64, k)
+	applyBuckets(buckets, func(shard int, bucket []localPair) {
+		for _, lp := range bucket {
+			if lp.val < w.label[lp.local] {
+				w.label[lp.local] = lp.val
+				if !w.active.Get(lp.local) {
+					w.active.Set(lp.local)
+					activated[shard]++
+				}
+			}
+		}
+	})
+	for _, a := range activated {
+		w.pending += a
+	}
 }
 
 func (w *wccNode) EndRound(round int) error { return nil }

@@ -10,9 +10,10 @@ import (
 	"swbfs/internal/obs"
 )
 
-// widths swept by the parity tests: serial, an even split, an odd width
-// (uneven shards), and more workers than bitmap words on small subgraphs.
-var parityWidths = []int{2, 3, 8}
+// widths swept by the parity tests: serial, even splits (including the
+// benchmark width 4), an odd width (uneven shards), and more workers than
+// bitmap words on small subgraphs.
+var parityWidths = []int{2, 3, 4, 8}
 
 // TestWorkersParitySSSP pins the driver worker contract for the SSSP relax
 // loop: any pool width produces distances AND per-round statistics
@@ -76,6 +77,217 @@ func TestWorkersParityDeltaSSSP(t *testing.T) {
 			t.Fatalf("workers=%d: work accounting diverges (%d/%d vs %d/%d)",
 				k, got.Relaxations, got.Buckets, base.Relaxations, base.Buckets)
 		}
+	}
+}
+
+// checkInfoParity asserts the modelled machine never moved: per-round
+// stats, modelled time and the wire totals all bit-identical to serial.
+func checkInfoParity(t *testing.T, k int, got, base *RunInfo) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Levels, base.Levels) {
+		t.Fatalf("workers=%d: round stats diverge from serial:\n%+v\nvs\n%+v",
+			k, got.Levels, base.Levels)
+	}
+	if got.Time != base.Time {
+		t.Fatalf("workers=%d: modelled time %v != serial %v", k, got.Time, base.Time)
+	}
+	if got.NetworkBytes != base.NetworkBytes || got.NetworkMessages != base.NetworkMessages {
+		t.Fatalf("workers=%d: wire totals diverge (%d bytes/%d msgs vs %d/%d)",
+			k, got.NetworkBytes, got.NetworkMessages, base.NetworkBytes, base.NetworkMessages)
+	}
+}
+
+// TestWorkersParityWCC: the label fold and active-bitmap scan produce
+// bit-identical labels, component counts and modelled stats at every
+// width, on both transports.
+func TestWorkersParityWCC(t *testing.T) {
+	g := kron(t, 10, 23)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := machine(8, transport)
+			cfg.Workers = 1
+			base, err := WCC(cfg, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range parityWidths {
+				cfg.Workers = k
+				got, err := WCC(cfg, g)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.Label, base.Label) || got.Components != base.Components {
+					t.Fatalf("workers=%d: labels diverge from serial", k)
+				}
+				checkInfoParity(t, k, got.Info, base.Info)
+			}
+		})
+	}
+}
+
+// TestWorkersParityPageRank: ranks are compared with DeepEqual — bitwise,
+// no tolerance. The fixed-point contribution accumulator makes the fold
+// order-independent, so this holds across widths AND transports.
+func TestWorkersParityPageRank(t *testing.T) {
+	g := kron(t, 10, 31)
+	const iters = 8
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := machine(8, transport)
+			cfg.Workers = 1
+			base, err := PageRank(cfg, g, iters, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range parityWidths {
+				cfg.Workers = k
+				got, err := PageRank(cfg, g, iters, 0)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.Rank, base.Rank) {
+					t.Fatalf("workers=%d: ranks are not bitwise identical to serial", k)
+				}
+				checkInfoParity(t, k, got.Info, base.Info)
+			}
+		})
+	}
+}
+
+// TestWorkersParityKCore: removal fan-out, decrement fold and the
+// touched-list EndRound produce bit-identical membership and stats.
+func TestWorkersParityKCore(t *testing.T) {
+	g := kron(t, 10, 41)
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := machine(8, transport)
+			cfg.Workers = 1
+			base, err := KCore(cfg, g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range parityWidths {
+				cfg.Workers = k
+				got, err := KCore(cfg, g, 4)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.InCore, base.InCore) || got.CoreSize != base.CoreSize {
+					t.Fatalf("workers=%d: core membership diverges from serial", k)
+				}
+				checkInfoParity(t, k, got.Info, base.Info)
+			}
+		})
+	}
+}
+
+// TestWorkersParityBetweenness: forward/backward sweeps with DeepEqual on
+// the float centrality scores — exact because sigma adds are integer-exact
+// and delta folds in fixed point.
+func TestWorkersParityBetweenness(t *testing.T) {
+	g := kron(t, 10, 71)
+	sources := []graph.Vertex{1, 33, 200}
+	for _, transport := range []core.Transport{core.TransportDirect, core.TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			cfg := machine(8, transport)
+			cfg.Workers = 1
+			base, err := Betweenness(cfg, g, sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range parityWidths {
+				cfg.Workers = k
+				got, err := Betweenness(cfg, g, sources)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(got.Centrality, base.Centrality) {
+					t.Fatalf("workers=%d: centrality is not bitwise identical to serial", k)
+				}
+				checkInfoParity(t, k, got.Info, base.Info)
+			}
+		})
+	}
+}
+
+// TestVertexShardWidth: the word-aligned shard map places every local in
+// exactly one shard, shard boundaries are multiples of 64 (so bucket
+// appliers never share a bitmap word), and the shard index never reaches
+// the clamped worker count.
+func TestVertexShardWidth(t *testing.T) {
+	for _, n := range []int64{1, 63, 64, 65, 1000, 4096} {
+		for _, k := range []int{1, 2, 3, 8, 100} {
+			per, workers := vertexShardWidth(n, k)
+			if workers < 1 || workers > k {
+				t.Fatalf("n=%d k=%d: clamped workers = %d", n, k, workers)
+			}
+			if workers == 1 {
+				continue // serial fallback: per is unused by callers
+			}
+			if per%64 != 0 {
+				t.Fatalf("n=%d k=%d: shard width %d not word-aligned", n, k, per)
+			}
+			prev := 0
+			for i := int64(0); i < n; i++ {
+				s := int(i / per)
+				if s >= workers {
+					t.Fatalf("n=%d k=%d: local %d maps to shard %d of %d", n, k, i, s, workers)
+				}
+				if s != prev && s != prev+1 {
+					t.Fatalf("n=%d k=%d: shard map not contiguous at local %d", n, k, i)
+				}
+				prev = s
+			}
+		}
+	}
+}
+
+// TestTakeShardsReuse: the scratch keeps per-shard capacity across rounds
+// and returns empty shards at any requested width.
+func TestTakeShardsReuse(t *testing.T) {
+	var scratch [][]localPair
+	scratch = takeShards(scratch, 3)
+	if len(scratch) != 3 {
+		t.Fatalf("got %d shards, want 3", len(scratch))
+	}
+	scratch[1] = append(scratch[1], localPair{7, 9})
+	grown := cap(scratch[1])
+	scratch = takeShards(scratch, 2)
+	if len(scratch) != 2 || len(scratch[1]) != 0 {
+		t.Fatalf("reslice did not empty the shards: %v", scratch)
+	}
+	if cap(scratch[1]) != grown {
+		t.Fatalf("shard capacity dropped from %d to %d", grown, cap(scratch[1]))
+	}
+	scratch = takeShards(scratch, 5)
+	if len(scratch) != 5 {
+		t.Fatalf("got %d shards, want 5", len(scratch))
+	}
+}
+
+// TestChunkedSumWidthIndependent: the canonical chunk structure makes the
+// float sum bit-identical for every worker count — the property PageRank's
+// dangling scan relies on.
+func TestChunkedSumWidthIndependent(t *testing.T) {
+	const n = 10000
+	vals := make([]float64, n)
+	x := 0.1
+	for i := range vals {
+		x = x * 1.37
+		if x > 1 {
+			x -= 1
+		}
+		vals[i] = x / 1e3
+	}
+	f := func(i int64) float64 { return vals[i] }
+	base := chunkedSum(n, 1, f)
+	for _, k := range []int{2, 3, 8, 64} {
+		if got := chunkedSum(n, k, f); got != base {
+			t.Fatalf("k=%d: chunked sum %v != serial %v", k, got, base)
+		}
+	}
+	if chunkedSum(0, 4, f) != 0 {
+		t.Fatal("empty sum not zero")
 	}
 }
 
@@ -198,14 +410,20 @@ func TestAlgosTraceRecorded(t *testing.T) {
 	if len(spans) != 1 || len(spans[0].Spans) == 0 {
 		t.Fatalf("span recorder runs = %+v, want one run with module spans", spans)
 	}
-	var sawWorkers bool
+	var sawGenWorkers, sawHandlerWorkers bool
 	for _, sp := range spans[0].Spans {
 		if sp.Module == obs.ModuleForwardGenerator && sp.Workers == 2 {
-			sawWorkers = true
+			sawGenWorkers = true
+		}
+		if sp.Module == obs.ModuleForwardHandler && sp.Workers == 2 {
+			sawHandlerWorkers = true
 		}
 	}
-	if !sawWorkers {
+	if !sawGenWorkers {
 		t.Fatal("no generator span attributes the worker-pool width")
+	}
+	if !sawHandlerWorkers {
+		t.Fatal("no handler span attributes the worker-pool width")
 	}
 
 	var buf bytes.Buffer

@@ -8,7 +8,6 @@ package chaos_test
 
 import (
 	"errors"
-	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -90,18 +89,12 @@ func TestChaosRootlessPageRank(t *testing.T) {
 			if len(res.Info.Injections) == 0 {
 				t.Fatal("no fault fired: the plan never exercised the kernel")
 			}
-			// The accumulator folds contributions in batch-arrival order, so
-			// ranks are deterministic only to float reordering noise (~1e-16
-			// relative). A double-counted duplicate or a lost batch would
-			// shift a vertex by a whole contribution — orders of magnitude
-			// above this tolerance — so the bound still proves idempotence.
-			const relTol = 1e-9
-			for v := range base.Rank {
-				diff := math.Abs(res.Rank[v] - base.Rank[v])
-				if diff > relTol*math.Abs(base.Rank[v]) {
-					t.Fatalf("rank fold is not idempotent: vertex %d rank %g vs fault-free %g",
-						v, res.Rank[v], base.Rank[v])
-				}
+			// The accumulator folds sender-quantized fixed-point integers, so
+			// the sum is independent of batch arrival order — a completed
+			// faulted run must reproduce the fault-free ranks bitwise, no
+			// tolerance.
+			if !reflect.DeepEqual(res.Rank, base.Rank) {
+				t.Fatal("rank fold is not idempotent: faulted ranks differ bitwise from fault-free run")
 			}
 		})
 	}

@@ -39,6 +39,11 @@ type AbortError struct {
 	// ("" otherwise). Render with cmd/flightview.
 	FlightDump *obs.FlightDump
 	FlightPath string
+
+	// Injections is the sorted log of faults injected before the abort —
+	// the counterpart of RunInfo.Injections for runs that never produce a
+	// result, so flight.Reconcile works on post-mortems too.
+	Injections []chaos.Fault
 }
 
 func (e *AbortError) Error() string {
@@ -392,6 +397,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 			Root:            root,
 			Cause:           cause,
 			CompletedLevels: append([]perf.LevelStats(nil), r.levels...),
+			Injections:      r.inj.Log(),
 		}
 		ae.FlightDump, ae.FlightPath = r.postMortem(len(r.levels), cause)
 		return nil, ae

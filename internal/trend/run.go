@@ -7,7 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"swbfs/internal/algos"
 	"swbfs/internal/core"
+	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
 	"swbfs/internal/obs"
 	"swbfs/internal/perf"
@@ -22,6 +24,9 @@ type ScenarioSpec struct {
 	Roots     int
 	Transport core.Transport
 	Engine    perf.Engine
+	// Kernel selects a non-BFS kernel ("" runs the Graph500 BFS sweep;
+	// "wcc" runs one WCC fixpoint). Roots is ignored for kernel scenarios.
+	Kernel string
 }
 
 // DefaultScenarios is the standard sweep: the paper's flagship transport
@@ -38,6 +43,11 @@ func DefaultScenarios() []ScenarioSpec {
 			Transport: core.TransportDirect, Engine: perf.EngineCPE},
 		{Name: "relay-cpe-s12-n64", Scale: 12, Nodes: 64, SuperSize: 8, Roots: 4,
 			Transport: core.TransportRelay, Engine: perf.EngineCPE},
+		// One rootless kernel at the standard worker width: tracks the WCC
+		// round pipeline (and, through host_seconds, the handler fan-out)
+		// the same way the BFS scenarios track the traversal pipeline.
+		{Name: "wcc-relay-cpe-s12-n16-w4", Scale: 12, Nodes: 16, SuperSize: 4,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE, Kernel: "wcc"},
 	}
 }
 
@@ -83,6 +93,9 @@ func Collect(opts Options) (*Snapshot, error) {
 // runScenario executes one configuration with a fresh observer so its
 // counters are not polluted by the other scenarios.
 func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
+	if spec.Kernel != "" {
+		return runKernelScenario(spec, seed)
+	}
 	observer := obs.New()
 	machine := core.Config{
 		Nodes:              spec.Nodes,
@@ -154,6 +167,66 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 				FrontierVertices: lv.FrontierVertices,
 			})
 		}
+	}
+	return sc, nil
+}
+
+// runKernelScenario runs one rootless kernel to its fixpoint and fills
+// the scenario from the run's own accounting (RunInfo carries the
+// modelled totals directly, so no observer is needed).
+func runKernelScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
+	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: spec.Scale, Seed: seed})
+	if err != nil {
+		return Scenario{}, err
+	}
+	machine := core.Config{
+		Nodes:              spec.Nodes,
+		SuperNodeSize:      spec.SuperSize,
+		Transport:          spec.Transport,
+		Engine:             spec.Engine,
+		DirectionOptimized: true,
+		HubPrefetch:        true,
+		SmallMessageMPE:    true,
+		Workers:            4,
+	}
+	hostStart := time.Now()
+	var info *algos.RunInfo
+	switch spec.Kernel {
+	case "wcc":
+		res, err := algos.WCC(machine, g)
+		if err != nil {
+			return Scenario{}, err
+		}
+		info = res.Info
+	default:
+		return Scenario{}, fmt.Errorf("unknown kernel %q", spec.Kernel)
+	}
+
+	var edges int64
+	for _, s := range info.Levels {
+		edges += s.FrontierEdges
+	}
+	sc := Scenario{
+		Name:      spec.Name,
+		Scale:     spec.Scale,
+		Nodes:     spec.Nodes,
+		SuperSize: spec.SuperSize,
+		Transport: spec.Transport.String(),
+		Engine:    spec.Engine.String(),
+		Kernel:    spec.Kernel,
+
+		GTEPS:         info.MTEPS(edges) / 1e3,
+		KernelSeconds: info.Time,
+		Levels:        float64(info.Rounds),
+
+		NetworkBytes:    info.NetworkBytes,
+		NetworkMessages: info.NetworkMessages,
+		MaxConnections:  int64(info.MaxConnections),
+
+		HostSeconds: time.Since(hostStart).Seconds(),
+	}
+	if info.NetworkMessages > 0 {
+		sc.AvgMessageBytes = float64(info.NetworkBytes) / float64(info.NetworkMessages)
 	}
 	return sc, nil
 }

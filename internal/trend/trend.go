@@ -48,6 +48,10 @@ type Scenario struct {
 	Roots     int    `json:"roots"`
 	Transport string `json:"transport"`
 	Engine    string `json:"engine"`
+	// Kernel names the non-BFS kernel the scenario ran ("" = the Graph500
+	// BFS sweep). For kernel scenarios GTEPS is the modelled round
+	// throughput of the single run and Levels is its round count.
+	Kernel string `json:"kernel,omitempty"`
 
 	// Headline results (modelled machine; deterministic per seed).
 	GTEPS          float64 `json:"gteps_harmonic_mean"`

@@ -233,3 +233,43 @@ func TestCollectTinyScenario(t *testing.T) {
 			sc.GTEPS, again.Scenarios[0].GTEPS)
 	}
 }
+
+// TestCollectKernelScenario runs the WCC kernel scenario end to end: the
+// snapshot carries the kernel tag, real modelled numbers, and — because
+// the worker fan-out is bit-identical by contract — the same numbers on
+// every collection.
+func TestCollectKernelScenario(t *testing.T) {
+	spec := ScenarioSpec{
+		Name: "wcc-tiny", Scale: 10, Nodes: 4, SuperSize: 2,
+		Transport: core.TransportRelay, Engine: perf.EngineCPE, Kernel: "wcc",
+	}
+	snap, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{spec}})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	sc := snap.Scenarios[0]
+	if sc.Kernel != "wcc" {
+		t.Fatalf("kernel tag = %q, want wcc", sc.Kernel)
+	}
+	if sc.GTEPS <= 0 || sc.KernelSeconds <= 0 || sc.Levels <= 0 {
+		t.Errorf("headline numbers missing: %+v", sc)
+	}
+	if sc.NetworkBytes <= 0 || sc.NetworkMessages <= 0 || sc.AvgMessageBytes <= 0 {
+		t.Errorf("traffic numbers missing: %+v", sc)
+	}
+
+	again, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Scenarios[0].GTEPS != sc.GTEPS || again.Scenarios[0].NetworkBytes != sc.NetworkBytes {
+		t.Errorf("same seed produced different kernel numbers: %+v vs %+v", sc, again.Scenarios[0])
+	}
+
+	// An unknown kernel must fail loudly, not fall through to BFS.
+	bad := spec
+	bad.Kernel = "nope"
+	if _, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{bad}}); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Errorf("unknown kernel not rejected: %v", err)
+	}
+}
