@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-snapshot bench-diff chaos fuzz docs-check
+.PHONY: build test check fmt vet race bench bench-snapshot bench-diff chaos fuzz docs-check resume-smoke
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,9 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: build, vet, formatting, full tests, the
-# race-detector pass over the concurrency-heavy packages, and the
-# docs-vs-code lint.
-check: build vet fmt test race docs-check
+# race-detector pass over the concurrency-heavy packages, the
+# checkpoint/resume smoke, and the docs-vs-code lint.
+check: build vet fmt test race resume-smoke docs-check
 
 vet:
 	$(GO) vet ./...
@@ -22,10 +22,11 @@ fmt:
 
 # The second pass forces multi-core scheduling so the Workers>1 parity
 # tests race the sharded generators and handler fan-out for real — for the
-# BFS engine, the kernel fan-outs, and the chaos x width parity sweep.
+# BFS engine, the kernel fan-outs, the chaos x width parity sweep, and the
+# kill-everywhere checkpoint/resume sweep.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/algos/...
-	GOMAXPROCS=4 $(GO) test -race -run Workers ./internal/core/ ./internal/algos/ ./internal/chaos/
+	GOMAXPROCS=4 $(GO) test -race -run 'Workers|Resume|Checkpoint' ./internal/core/ ./internal/algos/ ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -46,6 +47,19 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeRoundTrip -fuzztime=$(FUZZTIME) ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzBitmapWordScan -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/ckpt/
+
+# resume-smoke drives the full CLI walkthrough of docs/CHAOS.md: kill a
+# graph500 run mid-level, resume it from the abort checkpoint, and fail
+# unless the resumed result validates.
+resume-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/graph500 -scale 10 -nodes 8 -roots 1 -seed 42 \
+		-checkpoint-every 1 -checkpoint "$$dir/smoke.ckpt.json" \
+		-chaos-plan 'kill@3:l2:data/forward:0' >/dev/null 2>&1; \
+	test -s "$$dir/smoke.ckpt.json" || { echo "resume-smoke: no checkpoint written"; exit 1; } && \
+	$(GO) run ./cmd/graph500 -scale 10 -nodes 8 -seed 42 -resume "$$dir/smoke.ckpt.json" \
+		| grep -q 'validation: *ok' && echo "resume-smoke: ok"
 
 # bench-snapshot runs the standard sweep and writes the next BENCH_<n>.json
 # in the repo root; bench-diff compares the newest two snapshots and fails

@@ -6,10 +6,16 @@
 // -diff it compares two dumps from the same seed and exits nonzero when
 // they diverge. See docs/OBSERVABILITY.md "Flight recorder & post-mortems".
 //
+// With -checkpoint it instead inspects a level-boundary checkpoint file
+// (written by -checkpoint / the abort auto-checkpoint; see docs/CHAOS.md
+// "Checkpoint & resume"): kernel, boundary level, machine fingerprint,
+// per-level history and restart counters.
+//
 // Usage:
 //
 //	flightview run.flight.json
 //	flightview -diff a.flight.json b.flight.json
+//	flightview -checkpoint run.ckpt.json
 package main
 
 import (
@@ -17,18 +23,36 @@ import (
 	"fmt"
 	"os"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/flight"
 	"swbfs/internal/obs"
 )
 
 func main() {
 	diff := flag.Bool("diff", false, "diff two dumps from the same seed instead of rendering one")
+	checkpoint := flag.Bool("checkpoint", false, "inspect a level-boundary checkpoint file instead of a flight dump")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: flightview <dump.json>")
 		fmt.Fprintln(os.Stderr, "       flightview -diff <a.json> <b.json>")
+		fmt.Fprintln(os.Stderr, "       flightview -checkpoint <ckpt.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *checkpoint {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		c, err := ckpt.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if err := ckpt.Render(os.Stdout, c); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {

@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"swbfs/internal/chaos"
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -56,6 +57,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node, the CPE-cluster stand-in (0 = GOMAXPROCS/nodes, 1 = serial; results are identical for every width)")
 
 		flightDump = flag.String("flight-dump", "", "write the flight-recorder post-mortem of an aborted run to this file (default: <-trace-out>.flight.json when -trace-out is set; render with flightview)")
+
+		checkpointEvery = flag.Int("checkpoint-every", 0, "write a resumable machine checkpoint every N completed BFS levels (0 = off; see docs/CHAOS.md)")
+		checkpointPath  = flag.String("checkpoint", "", "checkpoint file path (default: <-flight-dump>.ckpt.json on abort when -checkpoint-every is set)")
+		resumeFrom      = flag.String("resume", "", "resume an interrupted BFS run from this checkpoint file and print its final result (bfs kernel only)")
 
 		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into the simulated fabric (0 = off; see docs/CHAOS.md)")
 		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan, comma-separated fault specs like kill@2:l1:data/forward:0 (wins over -chaos-seed; see docs/CHAOS.md)")
@@ -110,6 +115,8 @@ func main() {
 		*flightDump = *traceOut + ".flight.json"
 	}
 	machine.FlightDump = *flightDump
+	machine.CheckpointEvery = *checkpointEvery
+	machine.CheckpointPath = *checkpointPath
 
 	var observer *obs.Observer
 	if *metrics || *traceOut != "" || *serveAddr != "" || *chromeOut != "" {
@@ -131,6 +138,17 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "graph500: telemetry on %s (/metrics /traces /events /debug/pprof)\n", server.URL())
+	}
+
+	if *resumeFrom != "" {
+		resumeBFS(*resumeFrom, machine, *scale, *edgefactor, *seed, *input, *format, *vertices, *noValidate)
+		if observer != nil {
+			if err := emitObservability(observer, *metrics, *traceOut, *chromeOut); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		holdServer(server)
+		return
 	}
 
 	if *kernel == "sssp" {
@@ -215,6 +233,92 @@ func main() {
 	holdServer(server)
 }
 
+// resumeBFS continues an interrupted BFS run from a checkpoint file: the
+// graph is rebuilt from the same generator flags (the checkpoint's
+// fingerprint rejects a mismatched graph), the machine configuration is
+// reconstructed from the checkpoint, and only host-side knobs (workers,
+// watchdog, observability, chaos, further checkpointing) come from the
+// command line. The finished result is bitwise identical to what the
+// uninterrupted run would have produced.
+func resumeBFS(path string, host core.Config, scale, edgefactor int, seed int64, input, format string, vertices int64, noValidate bool) {
+	c, err := ckpt.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if c.Kernel != "bfs" {
+		fatalf("checkpoint %s holds a %q run; graph500 -resume supports the bfs kernel (resume other kernels via the algos API, see docs/CHAOS.md)", path, c.Kernel)
+	}
+
+	var g *graph.CSR
+	if input != "" {
+		edges, n, err := loadEdges(input, format, vertices)
+		if err != nil {
+			fatalf("loading %s: %v", input, err)
+		}
+		if g, err = graph.BuildCSR(n, edges); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		kcfg := graph.KroneckerConfig{Scale: scale, EdgeFactor: edgefactor, Seed: seed}
+		edges, err := graph.GenerateKronecker(kcfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if g, err = graph.BuildCSR(kcfg.NumVertices(), edges); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	cfg, err := core.ConfigFromCheckpoint(c.Config)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Host-side knobs are free to differ from the interrupted run — the
+	// modelled result does not depend on them.
+	cfg.Workers = host.Workers
+	cfg.LevelTimeout = host.LevelTimeout
+	cfg.StragglerFactor = host.StragglerFactor
+	cfg.FlightDump = host.FlightDump
+	cfg.Obs = host.Obs
+	cfg.Profile = host.Profile
+	cfg.Chaos = host.Chaos
+	cfg.CheckpointEvery = host.CheckpointEvery
+	cfg.CheckpointPath = host.CheckpointPath
+
+	runner, err := core.NewRunner(cfg, g)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "graph500: resuming bfs from root %d at level boundary %d (%s)\n", c.Root, c.Level, path)
+	res, err := runner.Resume(c)
+	if err != nil {
+		var ae *core.AbortError
+		if errors.As(err, &ae) {
+			printAbortReport(ae)
+			os.Exit(1)
+		}
+		fatalf("resume failed: %v", err)
+	}
+	validated := "skipped"
+	if !noValidate {
+		if _, err := graph500.ValidateParallel(g, graph.Vertex(c.Root), res.Parent, 0); err != nil {
+			fatalf("validation failed for resumed root %d: %v", c.Root, err)
+		}
+		validated = "ok"
+	}
+	fmt.Printf("KERNEL:               bfs (resumed from level %d)\n", c.Level)
+	fmt.Printf("root:                 %d\n", c.Root)
+	fmt.Printf("num_vertices:         %d\n", g.N)
+	fmt.Printf("num_undirected_edges: %d\n", g.NumEdges()/2)
+	fmt.Printf("machine:              %s, %d nodes\n", cfg.Name(), cfg.Nodes)
+	fmt.Printf("visited:              %d\n", res.Visited)
+	fmt.Printf("traversed_edges:      %d\n", res.TraversedEdges)
+	fmt.Printf("levels:               %d\n", len(res.Levels))
+	fmt.Printf("bfs_time:             %.6f s (modelled)\n", res.Time)
+	fmt.Printf("GTEPS:                %.4f\n", res.GTEPS)
+	fmt.Printf("validation:           %s\n", validated)
+}
+
 // emitObservability prints the metrics table and/or writes the structured
 // and Chrome traces, verifying every run's books balance first.
 func emitObservability(observer *obs.Observer, printMetrics bool, traceOut, chromeOut string) error {
@@ -273,6 +377,13 @@ func printAbortReport(ae *core.AbortError) {
 	} else if ae.FlightDump != nil {
 		fmt.Fprintf(os.Stderr, "graph500: flight-recorder post-mortem captured %d event(s); pass -flight-dump to write it to a file\n",
 			len(ae.FlightDump.Events))
+	}
+	if ae.CheckpointPath != "" {
+		fmt.Fprintf(os.Stderr, "graph500: checkpoint at level boundary %d written to %s (continue with -resume)\n",
+			ae.Checkpoint.Level, ae.CheckpointPath)
+	} else if ae.Checkpoint != nil {
+		fmt.Fprintf(os.Stderr, "graph500: checkpoint at level boundary %d captured in memory; pass -checkpoint or -flight-dump to write it to a file\n",
+			ae.Checkpoint.Level)
 	}
 }
 

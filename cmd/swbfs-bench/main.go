@@ -22,14 +22,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"swbfs/internal/chaos"
+	"swbfs/internal/ckpt"
+	"swbfs/internal/core"
 	"swbfs/internal/experiments"
+	"swbfs/internal/graph"
 	"swbfs/internal/obs"
 )
 
@@ -49,16 +54,26 @@ func main() {
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node (0 = GOMAXPROCS/nodes; results are identical for every width)")
 		flightDump = flag.String("flight-dump", "", "write the flight-recorder post-mortem of an aborted functional run to this file (default: <-trace-out>.flight.json when -trace-out is set; render with flightview)")
 
+		checkpointEvery = flag.Int("checkpoint-every", 0, "write a resumable machine checkpoint every N completed levels of each functional measurement (0 = off; see docs/CHAOS.md)")
+		checkpointPath  = flag.String("checkpoint", "", "checkpoint file path (default: <-flight-dump>.ckpt.json on abort when -checkpoint-every is set)")
+		resumeFrom      = flag.String("resume", "", "resume an interrupted functional BFS run from this checkpoint file (no subcommand; graph rebuilt from -seed)")
+
 		chaosSeed       = flag.Int64("chaos-seed", 0, "inject a seeded random fault plan into every functional measurement (0 = off; see docs/CHAOS.md)")
 		chaosPlan       = flag.String("chaos-plan", "", "inject an explicit fault plan into every functional measurement (wins over -chaos-seed; see docs/CHAOS.md)")
 		levelTimeout    = flag.Duration("level-timeout", 0, "abort a functional run if no BFS level completes within this duration (0 = no watchdog)")
 		stragglerFactor = flag.Float64("straggler-factor", 0, "flag nodes whose per-level module host time exceeds this multiple of the fleet mean (0 = off)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *resumeFrom == "" && flag.NArg() != 1 {
 		usage()
 	}
-	cmd := flag.Arg(0)
+	if *resumeFrom != "" && flag.NArg() != 0 {
+		usage()
+	}
+	var cmd string
+	if flag.NArg() == 1 {
+		cmd = flag.Arg(0)
+	}
 	experiments.SetWorkers(*workers)
 	experiments.SetLevelTimeout(*levelTimeout)
 	experiments.SetStragglerFactor(*stragglerFactor)
@@ -66,6 +81,7 @@ func main() {
 		*flightDump = *traceOut + ".flight.json"
 	}
 	experiments.SetFlightDump(*flightDump)
+	experiments.SetCheckpoint(*checkpointEvery, *checkpointPath)
 	if *chaosPlan != "" {
 		plan, err := chaos.ParsePlan(*chaosPlan)
 		if err != nil {
@@ -206,7 +222,26 @@ func main() {
 		}
 	}
 
-	if cmd == "all" {
+	switch {
+	case *resumeFrom != "":
+		host := core.Config{
+			Workers:         *workers,
+			LevelTimeout:    *levelTimeout,
+			StragglerFactor: *stragglerFactor,
+			FlightDump:      *flightDump,
+			Obs:             observer,
+			CheckpointEvery: *checkpointEvery,
+			CheckpointPath:  *checkpointPath,
+		}
+		if *chaosPlan != "" {
+			plan, err := chaos.ParsePlan(*chaosPlan)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			host.Chaos = &plan
+		}
+		resumeBFS(*resumeFrom, *seed, *chaosSeed, host)
+	case cmd == "all":
 		for _, name := range []string{
 			"table1", "fig3", "fig5", "regbus", "relaybw", "msgcount",
 			"fig11", "fig12", "strong", "table2", "headline", "ablations", "policy",
@@ -214,7 +249,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	} else {
+	default:
 		run(cmd)
 	}
 
@@ -260,8 +295,74 @@ func main() {
 	}
 }
 
+// resumeBFS continues an interrupted functional BFS run from a
+// level-boundary checkpoint file (see docs/CHAOS.md "Checkpoint &
+// resume"). The Kronecker graph is rebuilt from -seed and the
+// checkpoint's vertex count — the checkpoint's machine fingerprint
+// rejects a mismatched graph — and the machine configuration comes from
+// the checkpoint itself; only host-side knobs (workers, watchdog,
+// observability, chaos, further checkpointing) come from the command
+// line. The finished run is bitwise identical to an uninterrupted one.
+func resumeBFS(path string, seed, chaosSeed int64, host core.Config) {
+	c, err := ckpt.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if c.Kernel != "bfs" {
+		fatalf("checkpoint %s holds a %q run; swbfs-bench -resume supports the bfs kernel (resume other kernels via the algos API)", path, c.Kernel)
+	}
+	n := c.Config.GraphN
+	if n <= 0 || n&(n-1) != 0 {
+		fatalf("checkpoint vertex count %d is not a power of two — not a swbfs-bench Kronecker run", n)
+	}
+	g, err := graph.BuildKronecker(graph.KroneckerConfig{Scale: bits.TrailingZeros64(uint64(n)), Seed: seed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg, err := core.ConfigFromCheckpoint(c.Config)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Workers = host.Workers
+	cfg.LevelTimeout = host.LevelTimeout
+	cfg.StragglerFactor = host.StragglerFactor
+	cfg.FlightDump = host.FlightDump
+	cfg.Obs = host.Obs
+	cfg.CheckpointEvery = host.CheckpointEvery
+	cfg.CheckpointPath = host.CheckpointPath
+	if host.Chaos != nil {
+		cfg.Chaos = host.Chaos
+	} else if chaosSeed != 0 {
+		plan := chaos.NewRandomPlan(chaosSeed, cfg.Nodes)
+		cfg.Chaos = &plan
+	}
+
+	runner, err := core.NewRunner(cfg, g)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "swbfs-bench: resuming bfs from root %d at level boundary %d (%s)\n", c.Root, c.Level, path)
+	res, err := runner.Resume(c)
+	if err != nil {
+		var ae *core.AbortError
+		if errors.As(err, &ae) {
+			fmt.Fprintf(os.Stderr, "swbfs-bench: resumed run ABORTED: %v\n", ae.Cause)
+			if ae.CheckpointPath != "" {
+				fmt.Fprintf(os.Stderr, "swbfs-bench: checkpoint at level boundary %d written to %s (continue with -resume)\n",
+					ae.Checkpoint.Level, ae.CheckpointPath)
+			}
+			os.Exit(1)
+		}
+		fatalf("resume failed: %v", err)
+	}
+	fmt.Printf("resumed bfs: root %d, %d vertices, visited %d, traversed %d edges, %d levels, %.3f GTEPS (modelled)\n",
+		c.Root, g.N, res.Visited, res.TraversedEdges, len(res.Levels), res.GTEPS)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swbfs-bench [-quick|-full] [-seed N] [-roots N] [-format text|csv|json] <table1|fig3|fig5|regbus|relaybw|msgcount|fig11|fig12|strong|table2|headline|ablations|policy|all>")
+	fmt.Fprintln(os.Stderr, "       swbfs-bench -resume <ckpt.json> [-seed N]")
 	os.Exit(2)
 }
 

@@ -1,9 +1,11 @@
 package algos
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -73,6 +75,19 @@ type BCResult struct {
 // Betweenness computes (approximate) betweenness centrality from the given
 // sample sources on the simulated machine.
 func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResult, error) {
+	return betweennessRun(cfg, g, sources, nil)
+}
+
+// ResumeBetweenness continues a checkpointed betweenness run over the same
+// graph and source list; see RunOptions.Resume for the contract.
+func ResumeBetweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex, from *ckpt.Checkpoint) (*BCResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return betweennessRun(cfg, g, sources, from)
+}
+
+func betweennessRun(cfg core.Config, g *graph.CSR, sources []graph.Vertex, from *ckpt.Checkpoint) (*BCResult, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("algos: betweenness needs at least one source")
 	}
@@ -82,7 +97,7 @@ func Betweenness(cfg core.Config, g *graph.CSR, sources []graph.Vertex) (*BCResu
 		}
 	}
 	nodes := make([]*bcNode, cfg.Nodes)
-	info, err := Run(cfg, g, RunOptions{Kernel: "betweenness", Root: sources[0]}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "betweenness", Root: sources[0], Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		bn := &bcNode{
 			ctx:      ctx,
@@ -362,6 +377,66 @@ func (b *bcNode) finishSource() error {
 		return nil
 	}
 	b.startSource()
+	return nil
+}
+
+// bcCkpt is the Checkpointer payload. Sigma and the accumulated
+// centralities travel as IEEE-754 bit patterns so the restored floats are
+// exact; the dependency accumulator is already fixed-point.
+type bcCkpt struct {
+	SrcIdx    int      `json:"src_idx"`
+	Dist      []int64  `json:"dist"`
+	SigmaBits []uint64 `json:"sigma_bits"`
+	DeltaFix  []int64  `json:"delta_fix"`
+	Frontier  []uint64 `json:"frontier"`
+	Count     int64    `json:"count"`
+	Depth     int64    `json:"depth"`
+	MaxDepth  int64    `json:"max_depth"`
+	Backward  bool     `json:"backward"`
+	BcBits    []uint64 `json:"bc_bits"`
+	Done      bool     `json:"done"`
+}
+
+func (b *bcNode) CheckpointState() (any, error) {
+	return &bcCkpt{
+		SrcIdx:    b.srcIdx,
+		Dist:      append([]int64(nil), b.dist...),
+		SigmaBits: ckpt.Float64sToBits(b.sigma),
+		DeltaFix:  append([]int64(nil), b.deltaFix...),
+		Frontier:  append([]uint64(nil), b.frontier.Words()...),
+		Count:     b.count,
+		Depth:     b.depth,
+		MaxDepth:  b.maxDepth,
+		Backward:  b.backward,
+		BcBits:    ckpt.Float64sToBits(b.bc),
+		Done:      b.done,
+	}, nil
+}
+
+func (b *bcNode) RestoreState(data []byte) error {
+	var c bcCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("betweenness state: %w", err)
+	}
+	if len(c.Dist) != len(b.dist) || len(c.SigmaBits) != len(b.sigma) ||
+		len(c.DeltaFix) != len(b.deltaFix) || len(c.BcBits) != len(b.bc) {
+		return fmt.Errorf("betweenness state: entry counts do not match the partition's %d locals", len(b.dist))
+	}
+	// srcIdx == len(sources) is the finished state (done=true).
+	if c.SrcIdx < 0 || c.SrcIdx > len(b.sources) {
+		return fmt.Errorf("betweenness state: source index %d out of range [0, %d]", c.SrcIdx, len(b.sources))
+	}
+	b.srcIdx = c.SrcIdx
+	copy(b.dist, c.Dist)
+	copy(b.sigma, ckpt.BitsToFloat64s(c.SigmaBits))
+	copy(b.deltaFix, c.DeltaFix)
+	b.frontier.LoadWords(c.Frontier)
+	b.count = c.Count
+	b.depth = c.Depth
+	b.maxDepth = c.MaxDepth
+	b.backward = c.Backward
+	copy(b.bc, ckpt.BitsToFloat64s(c.BcBits))
+	b.done = c.Done
 	return nil
 }
 

@@ -1,9 +1,11 @@
 package algos
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -55,6 +57,19 @@ type DeltaSSSPResult struct {
 // DeltaSSSP computes single-source shortest paths with bucket width delta
 // (0 picks maxWeight, degenerating to near-Dijkstra bucketing).
 func DeltaSSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, delta int64) (*DeltaSSSPResult, error) {
+	return deltaRun(cfg, wg, root, delta, nil)
+}
+
+// ResumeDeltaSSSP continues a checkpointed delta-stepping run over the
+// same graph, root and delta; see RunOptions.Resume for the contract.
+func ResumeDeltaSSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, delta int64, from *ckpt.Checkpoint) (*DeltaSSSPResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return deltaRun(cfg, wg, root, delta, from)
+}
+
+func deltaRun(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, delta int64, from *ckpt.Checkpoint) (*DeltaSSSPResult, error) {
 	if root < 0 || int64(root) >= wg.N {
 		return nil, fmt.Errorf("algos: SSSP root %d out of range", root)
 	}
@@ -72,7 +87,7 @@ func DeltaSSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, delta 
 		}
 	}
 	nodes := make([]*deltaNode, cfg.Nodes)
-	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "delta-sssp", Root: root}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "delta-sssp", Root: root, Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		dn := &deltaNode{
 			ctx:      ctx,
@@ -228,6 +243,54 @@ func (d *deltaNode) EndRound(round int) error {
 		d.phase = phaseLight
 		d.fillBucket()
 	}
+	return nil
+}
+
+// deltaCkpt is the Checkpointer payload. The request sets serialize as
+// sorted local lists (the canonical order Generate consumes them in).
+type deltaCkpt struct {
+	Dist      []int64 `json:"dist"`
+	CurBucket int64   `json:"cur_bucket"`
+	Phase     int     `json:"phase"`
+	Done      bool    `json:"done"`
+	LightReq  []int64 `json:"light_req"`
+	HeavySet  []int64 `json:"heavy_set"`
+	Relaxed   int64   `json:"relaxed"`
+}
+
+func (d *deltaNode) CheckpointState() (any, error) {
+	return &deltaCkpt{
+		Dist:      append([]int64(nil), d.dist...),
+		CurBucket: d.curBucket,
+		Phase:     int(d.phase),
+		Done:      d.done,
+		LightReq:  sortedLocals(d.lightReq),
+		HeavySet:  sortedLocals(d.heavySet),
+		Relaxed:   d.relaxed,
+	}, nil
+}
+
+func (d *deltaNode) RestoreState(data []byte) error {
+	var c deltaCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("delta-sssp state: %w", err)
+	}
+	if len(c.Dist) != len(d.dist) {
+		return fmt.Errorf("delta-sssp state: %d distances, partition gives %d", len(c.Dist), len(d.dist))
+	}
+	copy(d.dist, c.Dist)
+	d.curBucket = c.CurBucket
+	d.phase = deltaPhase(c.Phase)
+	d.done = c.Done
+	d.lightReq = make(map[int64]struct{}, len(c.LightReq))
+	for _, local := range c.LightReq {
+		d.lightReq[local] = struct{}{}
+	}
+	d.heavySet = make(map[int64]struct{}, len(c.HeavySet))
+	for _, local := range c.HeavySet {
+		d.heavySet[local] = struct{}{}
+	}
+	d.relaxed = c.Relaxed
 	return nil
 }
 

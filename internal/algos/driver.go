@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"swbfs/internal/chaos"
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/fabric"
@@ -89,6 +90,15 @@ type RunOptions struct {
 	// recorded traces and AbortError. Rootless kernels (WCC, PageRank,
 	// K-core) pass graph.NoVertex.
 	Root graph.Vertex
+	// Resume, when non-nil, reconstructs the ensemble from a round-boundary
+	// checkpoint instead of starting fresh: every node's kernel state is
+	// restored through its Checkpointer hook and the loop re-enters at the
+	// recorded round. The caller must rebuild the same graph and pass an
+	// equivalent machine configuration (fingerprint-checked) and identical
+	// kernel parameters; Workers, observers, timeouts and the chaos plan
+	// are host-side and may differ. The completed run's RunInfo is bitwise
+	// identical to an uninterrupted run's.
+	Resume *ckpt.Checkpoint
 }
 
 // RunInfo is the machine-level outcome of a run.
@@ -162,21 +172,46 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		sr.BeginRun(int64(opts.Root))
 	}
 
+	resume := opts.Resume
+	mcfg := driverMachineConfig(cfg, g)
+	if resume != nil {
+		if err := validateResume(resume, kernel, opts.Root, mcfg, cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
+
 	// Flight recording is always on, exactly as in the BFS runner: shared
-	// via the observer when attached there, private otherwise.
+	// via the observer when attached there, private otherwise. A resume
+	// reloads the checkpoint's rings instead of opening a new run, so the
+	// post-resume dump covers the pre-checkpoint events under the original
+	// run index.
 	flight := cfg.Obs.FlightOf()
 	if flight == nil {
 		flight = obs.NewFlightRecorder(0)
 	}
-	flight.BeginRun(int64(opts.Root), kernel, cfg.Nodes, cfg.Transport.String())
+	if resume == nil {
+		flight.BeginRun(int64(opts.Root), kernel, cfg.Nodes, cfg.Transport.String())
+	} else {
+		flight.RestoreState(resume.Machine.Flight)
+	}
 
 	// The injector is rebuilt per run so every Run against the same plan
 	// replays the same faults — the determinism contract of docs/CHAOS.md,
-	// identical to the BFS runner's per-root rebuild.
+	// identical to the BFS runner's per-root rebuild. A resume seeds the
+	// log with the checkpoint's already-fired faults (and consumes them
+	// from the schedule) so the final Injections match an uninterrupted
+	// run; with no plan but a non-empty seeded log, an empty-schedule
+	// injector still reports them.
 	var inj *chaos.Injector
 	if cfg.Chaos != nil {
 		inj = chaos.NewInjector(*cfg.Chaos, cfg.Obs.MetricsOf())
 		inj.SetFlight(flight)
+	} else if resume != nil && len(resume.Machine.Injections) > 0 {
+		inj = chaos.NewInjector(chaos.Plan{}, cfg.Obs.MetricsOf())
+		inj.SetFlight(flight)
+	}
+	if inj != nil && resume != nil {
+		inj.SeedLog(resume.Machine.Injections)
 	}
 
 	part := graph.NewRoundRobin(g.N, cfg.Nodes)
@@ -211,6 +246,42 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 	}
 
 	st := &runState{info: &RunInfo{}}
+	startRound := 0
+	if resume != nil {
+		startRound = resume.Level
+		st.info.Levels = append([]perf.LevelStats(nil), resume.Machine.Levels...)
+		st.lastSnap = resume.Machine.LastSnap
+		st.roundTick.Store(int64(startRound))
+		if err := net.RestoreState(resume.Machine.Net); err != nil {
+			return nil, err
+		}
+	}
+
+	// The checkpoint latch: every boundary is captured in memory (backing
+	// /debug/checkpoint and the abort auto-checkpoint); every
+	// CheckpointEvery-th one is written to CheckpointPath. On a resume with
+	// checkpointing off, the latch still carries the source checkpoint so a
+	// second abort reports the newest usable boundary.
+	var ck *driverCkpt
+	if cfg.CheckpointEvery > 0 || resume != nil {
+		ck = &driverCkpt{
+			every:  cfg.CheckpointEvery,
+			path:   cfg.CheckpointPath,
+			kernel: kernel,
+			root:   int64(opts.Root),
+			nodes:  cfg.Nodes,
+			config: mcfg,
+			net:    net,
+			inj:    inj,
+			flight: flight,
+			st:     st,
+			latest: resume,
+		}
+		if cfg.CheckpointEvery > 0 && cfg.Obs != nil {
+			cfg.Obs.Checkpoint = ck
+		}
+	}
+
 	nodes := make([]*nodeRun, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		ctx := &NodeCtx{
@@ -237,12 +308,24 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		}
 		nodes[i] = &nodeRun{
 			ctx: ctx, algo: algo, ep: ep, net: net, st: st,
-			maxRounds: maxRounds,
-			kernel:    kernel,
-			root:      int64(opts.Root),
-			progress:  cfg.Obs.ProgressOf(),
-			keepSpans: cfg.Obs.SpansOf() != nil,
-			flight:    flight,
+			maxRounds:  maxRounds,
+			startRound: startRound,
+			kernel:     kernel,
+			root:       int64(opts.Root),
+			progress:   cfg.Obs.ProgressOf(),
+			keepSpans:  cfg.Obs.SpansOf() != nil,
+			flight:     flight,
+			ck:         ck,
+		}
+		if cfg.CheckpointEvery > 0 {
+			if _, ok := algo.(Checkpointer); !ok {
+				return nil, fmt.Errorf("algos: kernel %q does not implement Checkpointer; cannot checkpoint", kernel)
+			}
+		}
+		if resume != nil {
+			if err := nodes[i].restoreNode(resume.Nodes[i].Data); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -254,7 +337,10 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 	if cfg.LevelTimeout > 0 {
 		watchdogErr = make(chan error, 1)
 		watchdogStop = make(chan struct{})
-		flight.Control(obs.FlightWatchdogArm, -1, -1, "round timeout "+cfg.LevelTimeout.String())
+		if resume == nil {
+			// A resumed run's restored rings already hold the arm event.
+			flight.Control(obs.FlightWatchdogArm, -1, -1, "round timeout "+cfg.LevelTimeout.String())
+		}
 		go func() {
 			t := time.NewTicker(cfg.LevelTimeout)
 			defer t.Stop()
@@ -326,7 +412,8 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 			Injections:      inj.Log(),
 		}
 		// Post-mortem, mirroring the BFS runner: stamp the abort, drain the
-		// black box, write the dump when a path was configured.
+		// black box, write the dump when a path was configured, and attach
+		// the newest complete checkpoint next to it.
 		flight.Control(obs.FlightAbort, -1, len(info.Levels), cause.Error())
 		d := flight.Dump()
 		d.Aborted = true
@@ -336,6 +423,10 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 			if werr := obs.WriteFlightDumpFile(cfg.FlightDump, d); werr == nil {
 				ae.FlightPath = cfg.FlightDump
 			}
+		}
+		if ck != nil {
+			ae.Checkpoint = ck.Latest()
+			ae.CheckpointPath = ck.writeAbort(cfg.FlightDump, ae.Checkpoint)
 		}
 		return nil, ae
 	}
@@ -465,12 +556,13 @@ type roundWork struct {
 
 // nodeRun drives one node's SPMD loop.
 type nodeRun struct {
-	ctx       *NodeCtx
-	algo      RoundAlgo
-	ep        comm.Endpoint
-	net       *comm.Network
-	st        *runState
-	maxRounds int
+	ctx        *NodeCtx
+	algo       RoundAlgo
+	ep         comm.Endpoint
+	net        *comm.Network
+	st         *runState
+	maxRounds  int
+	startRound int
 
 	kernel   string
 	root     int64
@@ -480,11 +572,12 @@ type nodeRun struct {
 	spanLog   []roundWork
 
 	flight *obs.FlightRecorder
+	ck     *driverCkpt
 }
 
 func (n *nodeRun) loop() error {
 	info := n.st.info
-	for round := 0; ; round++ {
+	for round := n.startRound; ; round++ {
 		if round >= n.maxRounds {
 			n.net.Abort()
 			return fmt.Errorf("algos: node %d exceeded %d rounds without converging", n.ctx.ID, n.maxRounds)
@@ -609,6 +702,17 @@ func (n *nodeRun) loop() error {
 			n.st.roundTick.Add(1) // feed the watchdog: this round completed
 			n.flight.Control(obs.FlightRoundClose, -1, round,
 				fmt.Sprintf("active=%d pairs=%d", active, sumPairs))
+		}
+
+		// Round boundary: stage this node's checkpoint capture before
+		// joining the next round's activity allreduce (see checkpoint.go
+		// for why this window is race-free). A failed periodic file write
+		// is fatal — silently continuing would lose the restart guarantee.
+		if n.ck != nil && n.ck.every > 0 {
+			if err := n.ck.stage(n, round); err != nil {
+				n.net.Abort()
+				return err
+			}
 		}
 	}
 }

@@ -1,9 +1,11 @@
 package algos
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -38,11 +40,24 @@ type KCoreResult struct {
 
 // KCore computes the k-core of g on the simulated machine.
 func KCore(cfg core.Config, g *graph.CSR, k int64) (*KCoreResult, error) {
+	return kcoreRun(cfg, g, k, nil)
+}
+
+// ResumeKCore continues a checkpointed k-core run over the same graph with
+// the identical k; see RunOptions.Resume for the contract.
+func ResumeKCore(cfg core.Config, g *graph.CSR, k int64, from *ckpt.Checkpoint) (*KCoreResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return kcoreRun(cfg, g, k, from)
+}
+
+func kcoreRun(cfg core.Config, g *graph.CSR, k int64, from *ckpt.Checkpoint) (*KCoreResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("algos: k must be >= 1, got %d", k)
 	}
 	nodes := make([]*kcoreNode, cfg.Nodes)
-	info, err := Run(cfg, g, RunOptions{Kernel: "kcore", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "kcore", Root: graph.NoVertex, Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		kn := &kcoreNode{
 			ctx:    ctx,
@@ -194,6 +209,38 @@ func (kn *kcoreNode) EndRound(round int) error {
 		kn.dec[local] = 0
 	}
 	kn.touched = kn.touched[:0]
+	return nil
+}
+
+// kcoreCkpt is the Checkpointer payload: survival flags, effective
+// degrees, and the removals scheduled for the next round. dec/touched are
+// empty at every boundary (EndRound drains them).
+type kcoreCkpt struct {
+	Alive   []bool  `json:"alive"`
+	Effdeg  []int64 `json:"effdeg"`
+	Removal []int64 `json:"removal"`
+}
+
+func (kn *kcoreNode) CheckpointState() (any, error) {
+	return &kcoreCkpt{
+		Alive:   append([]bool(nil), kn.alive...),
+		Effdeg:  append([]int64(nil), kn.effdeg...),
+		Removal: append([]int64(nil), kn.removal...),
+	}, nil
+}
+
+func (kn *kcoreNode) RestoreState(data []byte) error {
+	var c kcoreCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("kcore state: %w", err)
+	}
+	if len(c.Alive) != len(kn.alive) || len(c.Effdeg) != len(kn.effdeg) {
+		return fmt.Errorf("kcore state: %d/%d entries, partition gives %d",
+			len(c.Alive), len(c.Effdeg), len(kn.alive))
+	}
+	copy(kn.alive, c.Alive)
+	copy(kn.effdeg, c.Effdeg)
+	kn.removal = append(kn.removal[:0], c.Removal...)
 	return nil
 }
 

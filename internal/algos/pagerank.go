@@ -1,8 +1,10 @@
 package algos
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -52,6 +54,20 @@ type PageRankResult struct {
 // PageRank runs `iterations` synchronous iterations on the simulated
 // machine with the given damping (0 selects DefaultDamping).
 func PageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64) (*PageRankResult, error) {
+	return pagerankRun(cfg, g, iterations, damping, nil)
+}
+
+// ResumePageRank continues a checkpointed PageRank run over the same graph
+// with identical iteration count and damping; see RunOptions.Resume for
+// the contract.
+func ResumePageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64, from *ckpt.Checkpoint) (*PageRankResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return pagerankRun(cfg, g, iterations, damping, from)
+}
+
+func pagerankRun(cfg core.Config, g *graph.CSR, iterations int, damping float64, from *ckpt.Checkpoint) (*PageRankResult, error) {
 	if iterations <= 0 {
 		return nil, fmt.Errorf("algos: PageRank needs a positive iteration count, got %d", iterations)
 	}
@@ -62,7 +78,7 @@ func PageRank(cfg core.Config, g *graph.CSR, iterations int, damping float64) (*
 		return nil, fmt.Errorf("algos: damping %v out of [0, 1)", damping)
 	}
 	nodes := make([]*prNode, cfg.Nodes)
-	info, err := Run(cfg, g, RunOptions{Kernel: "pagerank", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "pagerank", Root: graph.NoVertex, Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		nLocal := ctx.Sub.NumVertices()
 		pn := &prNode{
 			ctx:        ctx,
@@ -211,6 +227,39 @@ func (p *prNode) EndRound(round int) error {
 		}
 	})
 	p.iter++
+	return nil
+}
+
+// prCkpt is the Checkpointer payload. Ranks travel as IEEE-754 bit
+// patterns so the restored floats are exact; the contribution accumulator
+// is zero at every round boundary (EndRound drains it) but is carried for
+// robustness. dangling and n are rebuilt by the constructor.
+type prCkpt struct {
+	Iter     int      `json:"iter"`
+	RankBits []uint64 `json:"rank_bits"`
+	Acc      []int64  `json:"acc"`
+}
+
+func (p *prNode) CheckpointState() (any, error) {
+	return &prCkpt{
+		Iter:     p.iter,
+		RankBits: ckpt.Float64sToBits(p.rank),
+		Acc:      append([]int64(nil), p.acc...),
+	}, nil
+}
+
+func (p *prNode) RestoreState(data []byte) error {
+	var c prCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("pagerank state: %w", err)
+	}
+	if len(c.RankBits) != len(p.rank) || len(c.Acc) != len(p.acc) {
+		return fmt.Errorf("pagerank state: %d ranks / %d accumulators, partition gives %d",
+			len(c.RankBits), len(c.Acc), len(p.rank))
+	}
+	p.iter = c.Iter
+	copy(p.rank, ckpt.BitsToFloat64s(c.RankBits))
+	copy(p.acc, c.Acc)
 	return nil
 }
 

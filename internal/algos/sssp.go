@@ -1,9 +1,11 @@
 package algos
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -36,11 +38,24 @@ type SSSPResult struct {
 
 // SSSP computes single-source shortest paths on the simulated machine.
 func SSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex) (*SSSPResult, error) {
+	return ssspRun(cfg, wg, root, nil)
+}
+
+// ResumeSSSP continues a checkpointed SSSP run over the same graph and
+// root; see RunOptions.Resume for the contract.
+func ResumeSSSP(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, from *ckpt.Checkpoint) (*SSSPResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return ssspRun(cfg, wg, root, from)
+}
+
+func ssspRun(cfg core.Config, wg *graph.WeightedCSR, root graph.Vertex, from *ckpt.Checkpoint) (*SSSPResult, error) {
 	if root < 0 || int64(root) >= wg.N {
 		return nil, fmt.Errorf("algos: SSSP root %d out of range", root)
 	}
 	nodes := make([]*ssspNode, cfg.Nodes)
-	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "sssp", Root: root}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, wg.CSR, RunOptions{Kernel: "sssp", Root: root, Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		sn := &ssspNode{
 			ctx:     ctx,
@@ -142,6 +157,36 @@ func (s *ssspNode) Handle(round int, pairs []comm.Pair) error {
 }
 
 func (s *ssspNode) EndRound(round int) error { return nil }
+
+// ssspCkpt is the Checkpointer payload: the tentative distances and the
+// frontier entering the next round.
+type ssspCkpt struct {
+	Dist    []int64  `json:"dist"`
+	Active  []uint64 `json:"active"`
+	Pending int64    `json:"pending"`
+}
+
+func (s *ssspNode) CheckpointState() (any, error) {
+	return &ssspCkpt{
+		Dist:    append([]int64(nil), s.dist...),
+		Active:  append([]uint64(nil), s.active.Words()...),
+		Pending: s.pending,
+	}, nil
+}
+
+func (s *ssspNode) RestoreState(data []byte) error {
+	var c ssspCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("sssp state: %w", err)
+	}
+	if len(c.Dist) != len(s.dist) {
+		return fmt.Errorf("sssp state: %d distances, partition gives %d", len(c.Dist), len(s.dist))
+	}
+	copy(s.dist, c.Dist)
+	s.active.LoadWords(c.Active)
+	s.pending = c.Pending
+	return nil
+}
 
 func (s *ssspNode) relaxations() int64 {
 	// Each settled vertex relaxed its out-edges at least once; use the

@@ -1,6 +1,10 @@
 package algos
 
 import (
+	"encoding/json"
+	"fmt"
+
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
@@ -32,8 +36,21 @@ type WCCResult struct {
 
 // WCC computes weakly connected components on the simulated machine.
 func WCC(cfg core.Config, g *graph.CSR) (*WCCResult, error) {
+	return wccRun(cfg, g, nil)
+}
+
+// ResumeWCC continues a checkpointed WCC run over the same graph; see
+// RunOptions.Resume for the contract.
+func ResumeWCC(cfg core.Config, g *graph.CSR, from *ckpt.Checkpoint) (*WCCResult, error) {
+	if from == nil {
+		return nil, fmt.Errorf("algos: nil checkpoint")
+	}
+	return wccRun(cfg, g, from)
+}
+
+func wccRun(cfg core.Config, g *graph.CSR, from *ckpt.Checkpoint) (*WCCResult, error) {
 	nodes := make([]*wccNode, cfg.Nodes)
-	info, err := Run(cfg, g, RunOptions{Kernel: "wcc", Root: graph.NoVertex}, func(ctx *NodeCtx) (RoundAlgo, error) {
+	info, err := Run(cfg, g, RunOptions{Kernel: "wcc", Root: graph.NoVertex, Resume: from}, func(ctx *NodeCtx) (RoundAlgo, error) {
 		n := ctx.Sub.NumVertices()
 		wn := &wccNode{
 			ctx:    ctx,
@@ -177,6 +194,36 @@ func (w *wccNode) handleParallel(k int, pairs []comm.Pair) {
 }
 
 func (w *wccNode) EndRound(round int) error { return nil }
+
+// wccCkpt is the Checkpointer payload: the current labels and the active
+// set entering the next round.
+type wccCkpt struct {
+	Label   []graph.Vertex `json:"label"`
+	Active  []uint64       `json:"active"`
+	Pending int64          `json:"pending"`
+}
+
+func (w *wccNode) CheckpointState() (any, error) {
+	return &wccCkpt{
+		Label:   append([]graph.Vertex(nil), w.label...),
+		Active:  append([]uint64(nil), w.active.Words()...),
+		Pending: w.pending,
+	}, nil
+}
+
+func (w *wccNode) RestoreState(data []byte) error {
+	var c wccCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("wcc state: %w", err)
+	}
+	if len(c.Label) != len(w.label) {
+		return fmt.Errorf("wcc state: %d labels, partition gives %d", len(c.Label), len(w.label))
+	}
+	copy(w.label, c.Label)
+	w.active.LoadWords(c.Active)
+	w.pending = c.Pending
+	return nil
+}
 
 // ReferenceWCC is the sequential union-find oracle; it returns the same
 // min-ID-of-component labelling the distributed algorithm converges to.

@@ -213,6 +213,27 @@ func (p Plan) String() string {
 	return strings.Join(specs, ",")
 }
 
+// Without returns a copy of the plan with one schedule entry removed per
+// matching fault in fired. The resume path uses it to strip a kill that
+// already fired from the plan before re-running: the checkpoint's level
+// precedes the kill's coordinate, so without stripping, the same kill
+// would strike the resumed run again.
+func (p Plan) Without(fired []Fault) Plan {
+	out := Plan{Seed: p.Seed}
+	remove := make(map[Fault]int, len(fired))
+	for _, f := range fired {
+		remove[f]++
+	}
+	for _, f := range p.Faults {
+		if remove[f] > 0 {
+			remove[f]--
+			continue
+		}
+		out.Faults = append(out.Faults, f)
+	}
+	return out
+}
+
 // ParsePlan parses a comma-separated fault spec list.
 func ParsePlan(s string) (Plan, error) {
 	var p Plan

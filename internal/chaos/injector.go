@@ -139,6 +139,31 @@ func (in *Injector) record(f Fault) {
 	in.flight.Inject(f.Node, f.Level, f.String())
 }
 
+// SeedLog pre-populates the injection log with faults that fired before a
+// checkpoint was taken. The resume path uses it so LastInjections after a
+// resumed run matches an uninterrupted run's log. Unlike record, it does
+// not bump metrics or emit flight inject events: the restored flight rings
+// already hold those events, and re-counting would double the totals.
+func (in *Injector) SeedLog(fired []Fault) {
+	if in == nil || len(fired) == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range fired {
+		in.log = append(in.log, f)
+		// A pre-checkpoint fault is consumed: remove it from the pending
+		// schedule so it cannot fire a second time, and keep kill
+		// stickiness consistent (a seeded kill would have aborted the run,
+		// so resume callers strip kills from the plan instead).
+		if f.Kind.IsDelay() {
+			delete(in.delays, delayKey{f.Kind, f.Node, f.Level})
+		} else {
+			delete(in.faults, opKey{streamKey{f.Node, f.Level, f.WireKind, f.Channel}, f.Op})
+		}
+	}
+}
+
 // Log returns the faults that actually fired, in a deterministic sorted
 // order (consumption order is scheduling-dependent; the sorted log of a
 // completed run is not).

@@ -1,0 +1,43 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip feeds arbitrary bytes through the reader and
+// demands that everything the reader accepts re-encodes canonically: the
+// canonical form must parse back, and must be an encoding fixpoint
+// (encode ∘ read ∘ encode = encode). The committed corpus under
+// testdata/fuzz seeds the fuzzer with valid checkpoints (random bytes
+// rarely carry a self-consistent fingerprint); `make fuzz` runs this
+// alongside the envelope and bitmap fuzzers.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	if seed, err := Encode(sampleCheckpoint()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte("not a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to guarantee
+		}
+		canon, err := Encode(c)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not encode: %v", err)
+		}
+		back, err := Read(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical encoding does not parse: %v\n%s", err, canon)
+		}
+		again, err := Encode(back)
+		if err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(canon, again) {
+			t.Fatalf("canonical form is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", canon, again)
+		}
+	})
+}

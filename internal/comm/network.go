@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -374,6 +375,85 @@ func (n *Network) MetricsInto(r *obs.Registry) {
 	if v := n.retries.Load(); v > 0 {
 		r.Counter("comm.retries").Add(v)
 	}
+}
+
+// NetState is the network's checkpointable counter state. It captures
+// everything the reporting paths read cumulatively — fabric counters,
+// per-node send totals, per-kind batch counts, established connections and
+// forced retries — so a resumed run's totals continue exactly where the
+// checkpoint's did. Inbox contents are intentionally absent: checkpoints
+// are taken at level barriers, where no batch is in flight.
+type NetState struct {
+	Counters  fabric.Snapshot `json:"counters"`
+	NodeMsgs  []int64         `json:"node_msgs"`
+	NodeBytes []int64         `json:"node_bytes"`
+	KindMsgs  []int64         `json:"kind_msgs"`
+	// Conns[src] lists the destination nodes src has connected to, sorted.
+	Conns   [][]int `json:"conns"`
+	Retries int64   `json:"retries"`
+}
+
+// CaptureState snapshots the network's counters for a checkpoint. The
+// caller quiesces the machine first (the runner captures at level
+// barriers).
+func (n *Network) CaptureState() NetState {
+	st := NetState{
+		Counters:  n.Counters.Snapshot(),
+		NodeMsgs:  make([]int64, len(n.nodeMsgs)),
+		NodeBytes: make([]int64, len(n.nodeBytes)),
+		KindMsgs:  make([]int64, numKinds),
+		Retries:   n.retries.Load(),
+	}
+	for i := range n.nodeMsgs {
+		st.NodeMsgs[i] = n.nodeMsgs[i].Load()
+		st.NodeBytes[i] = n.nodeBytes[i].Load()
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		st.KindMsgs[k] = n.kindMsgs[k].Load()
+	}
+	n.connMu.Lock()
+	st.Conns = make([][]int, len(n.conns))
+	for src, peers := range n.conns {
+		dsts := make([]int, 0, len(peers))
+		for dst := range peers {
+			dsts = append(dsts, dst)
+		}
+		sort.Ints(dsts)
+		st.Conns[src] = dsts
+	}
+	n.connMu.Unlock()
+	return st
+}
+
+// RestoreState loads a captured counter state into a fresh network. The
+// resume path calls it before any node goroutine starts. The duplicate
+// sequence counter is deliberately left fresh: endpoint dedup maps are
+// per-run and every pre-checkpoint duplicate was fully consumed.
+func (n *Network) RestoreState(st NetState) error {
+	if len(st.NodeMsgs) != len(n.nodeMsgs) || len(st.NodeBytes) != len(n.nodeBytes) ||
+		len(st.Conns) != len(n.conns) {
+		return fmt.Errorf("comm: checkpoint network state is for %d nodes, network has %d",
+			len(st.NodeMsgs), len(n.nodeMsgs))
+	}
+	n.Counters.Restore(st.Counters)
+	for i := range n.nodeMsgs {
+		n.nodeMsgs[i].Store(st.NodeMsgs[i])
+		n.nodeBytes[i].Store(st.NodeBytes[i])
+	}
+	for k := Kind(0); k < numKinds && int(k) < len(st.KindMsgs); k++ {
+		n.kindMsgs[k].Store(st.KindMsgs[k])
+	}
+	n.connMu.Lock()
+	for src, dsts := range st.Conns {
+		m := make(map[int]struct{}, len(dsts))
+		for _, dst := range dsts {
+			m[dst] = struct{}{}
+		}
+		n.conns[src] = m
+	}
+	n.connMu.Unlock()
+	n.retries.Store(st.Retries)
+	return nil
 }
 
 // Close shuts every inbox (used on teardown and error paths).

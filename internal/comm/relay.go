@@ -241,6 +241,12 @@ func (e *RelayEndpoint) RelayedBytes() int64 { return e.relayedBytes }
 // the run so far. Call it after the run's module goroutines have joined.
 func (e *RelayEndpoint) TotalRelayedBytes() int64 { return e.totalRelayedBytes }
 
+// RestoreRelayedBytes sets the cross-level relayed-byte accumulator. The
+// checkpoint/restart path calls it on a fresh endpoint before the node's
+// module goroutines start, so whole-run relay metrics of a resumed run
+// match an uninterrupted one.
+func (e *RelayEndpoint) RestoreRelayedBytes(total int64) { e.totalRelayedBytes = total }
+
 // NewRelayEndpoint creates the rank for `node` under the given shape.
 func NewRelayEndpoint(net *Network, node int, shape GroupShape) (*RelayEndpoint, error) {
 	if shape.Nodes() != net.Nodes() {

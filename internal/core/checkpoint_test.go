@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"swbfs/internal/ckpt"
+	"swbfs/internal/graph"
+	"swbfs/internal/perf"
+	"swbfs/internal/testutil"
+)
+
+func ckptConfig(transport Transport, workers int) Config {
+	return Config{
+		Nodes:              4,
+		SuperNodeSize:      2,
+		Transport:          transport,
+		Engine:             perf.EngineMPE,
+		DirectionOptimized: true,
+		HubPrefetch:        true,
+		SmallMessageMPE:    true,
+		Workers:            workers,
+	}
+}
+
+// TestCheckpointParityAndResume proves the three core guarantees on both
+// transports: (1) checkpointing on changes nothing — the Result is
+// DeepEqual to a run with checkpointing off; (2) a run resumed from a
+// mid-run checkpoint file finishes with a bitwise-identical Result; (3)
+// the checkpoint file round-trips through the codec.
+func TestCheckpointParityAndResume(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	g := kron(t, 9, 42)
+	const root = graph.Vertex(5) // a well-connected root: the run spans several levels
+	for _, transport := range []Transport{TransportDirect, TransportRelay} {
+		t.Run(transport.String(), func(t *testing.T) {
+			baseRunner, err := NewRunner(ckptConfig(transport, 2), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseRunner.Run(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			path := filepath.Join(t.TempDir(), "bfs.ckpt.json")
+			cfg := ckptConfig(transport, 2)
+			cfg.CheckpointEvery = 2
+			cfg.CheckpointPath = path
+			r, err := NewRunner(cfg, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, res) {
+				t.Fatalf("checkpointing on changed the result:\n  off: %+v\n  on:  %+v", base, res)
+			}
+			if r.ckpt.written == 0 {
+				t.Fatal("no checkpoint file written")
+			}
+
+			// The file holds a mid-run boundary (the newest multiple of
+			// CheckpointEvery); resume from it on a fresh runner, at a
+			// different worker width, and demand a bitwise-identical Result.
+			c, err := ckpt.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Level <= 0 || c.Level >= len(base.Levels)+1 {
+				t.Fatalf("checkpoint level %d outside the run's %d levels", c.Level, len(base.Levels))
+			}
+			rcfg, err := ConfigFromCheckpoint(c.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcfg.Workers = 4
+			rr, err := NewRunner(rcfg, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := rr.Resume(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, resumed) {
+				t.Fatalf("resumed result differs from uninterrupted run:\n  base:    %+v\n  resumed: %+v", base, resumed)
+			}
+			checkBFSTree(t, g, root, resumed.Parent)
+		})
+	}
+}
+
+// TestCheckpointBytesDeterministic demands byte-identical checkpoint files
+// for repeated runs of the same seed and configuration, and across worker
+// widths — the file-level determinism contract.
+func TestCheckpointBytesDeterministic(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	g := kron(t, 9, 7)
+	files := make([][]byte, 0, 3)
+	for _, workers := range []int{1, 1, 4} {
+		path := filepath.Join(t.TempDir(), "ck.json")
+		cfg := ckptConfig(TransportRelay, workers)
+		cfg.CheckpointEvery = 1
+		cfg.CheckpointPath = path
+		r, err := NewRunner(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, data)
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Fatal("same config, same seed: checkpoint files differ between runs")
+	}
+	if !bytes.Equal(files[0], files[2]) {
+		t.Fatal("checkpoint files differ between worker widths 1 and 4")
+	}
+}
+
+// TestCheckpointJSONSource exercises the obs.CheckpointSource hook the
+// /debug/checkpoint endpoint serves.
+func TestCheckpointJSONSource(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	g := kron(t, 8, 11)
+	cfg := ckptConfig(TransportDirect, 1)
+	cfg.CheckpointEvery = 1
+	r, err := NewRunner(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.CheckpointJSON(); ok {
+		t.Fatal("CheckpointJSON reported data before any boundary")
+	}
+	if _, err := r.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := r.CheckpointJSON()
+	if !ok {
+		t.Fatal("CheckpointJSON empty after a checkpointed run")
+	}
+	c, err := ckpt.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kernel != "bfs" || c.Root != 1 {
+		t.Fatalf("served checkpoint identifies %s/%d, want bfs/1", c.Kernel, c.Root)
+	}
+}
+
+// TestResumeRejects covers the refuse-to-load paths: wrong kernel, wrong
+// fingerprint, wrong node count.
+func TestResumeRejects(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	g := kron(t, 8, 13)
+	cfg := ckptConfig(TransportDirect, 1)
+	cfg.CheckpointEvery = 1
+	r, err := NewRunner(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	c := r.LastCheckpoint()
+	if c == nil {
+		t.Fatal("no checkpoint after run")
+	}
+
+	if _, err := r.Resume(nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	bad := *c
+	bad.Kernel = "sssp"
+	if _, err := r.Resume(&bad); err == nil {
+		t.Fatal("wrong-kernel checkpoint accepted")
+	}
+	other, err := NewRunner(ckptConfig(TransportRelay, 1), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Resume(c); err == nil {
+		t.Fatal("wrong-transport (fingerprint) checkpoint accepted")
+	}
+	bad = *c
+	bad.Nodes = bad.Nodes[:2]
+	if _, err := r.Resume(&bad); err == nil {
+		t.Fatal("truncated node list accepted")
+	}
+}

@@ -133,6 +133,23 @@ type Config struct {
 	// for CLI workflows (-flight-dump).
 	FlightDump string
 
+	// CheckpointEvery enables level-boundary checkpointing: every
+	// completed level's boundary is captured in memory (the latest one
+	// backs /debug/checkpoint and the abort auto-checkpoint), and every
+	// CheckpointEvery-th boundary is written to CheckpointPath when set.
+	// 0 disables checkpointing. Capture happens at the level barrier — no
+	// batch in flight, no extra modelled collectives — so modelled output
+	// is identical with checkpointing on or off (see docs/CHAOS.md
+	// "Checkpoint & resume").
+	CheckpointEvery int
+
+	// CheckpointPath is the file periodic checkpoints are written to (each
+	// write replaces the previous — the file always holds the newest
+	// boundary). On abort, the latest in-memory checkpoint is written here
+	// too; with CheckpointPath empty but FlightDump set, the abort
+	// checkpoint lands next to the flight dump as <FlightDump>.ckpt.json.
+	CheckpointPath string
+
 	// StragglerFactor enables straggler detection: after each level, a
 	// node whose host-side level time exceeds the all-node mean by this
 	// factor is flagged (obs.EventStraggler on /events, an instant event

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"swbfs/internal/chaos"
+	"swbfs/internal/ckpt"
 	"swbfs/internal/comm"
 	"swbfs/internal/fabric"
 	"swbfs/internal/graph"
@@ -44,6 +45,14 @@ type AbortError struct {
 	// the counterpart of RunInfo.Injections for runs that never produce a
 	// result, so flight.Reconcile works on post-mortems too.
 	Injections []chaos.Fault
+
+	// Checkpoint is the newest complete level-boundary checkpoint taken
+	// before the abort (nil with Config.CheckpointEvery == 0 or when the
+	// run died before its first boundary); CheckpointPath is where it was
+	// written ("" when no write happened). Resume from it to finish the
+	// run with a bitwise-identical result — see docs/CHAOS.md.
+	Checkpoint     *ckpt.Checkpoint
+	CheckpointPath string
 }
 
 func (e *AbortError) Error() string {
@@ -115,6 +124,11 @@ type Runner struct {
 	// attached there, a private recorder otherwise. Drained into a
 	// post-mortem dump when a run aborts (see AbortError.FlightDump).
 	flight *obs.FlightRecorder
+
+	// ckpt is the level-boundary checkpoint latch (Config.CheckpointEvery
+	// > 0): nodes stage their boundary captures here and the last one
+	// freezes the assembled checkpoint. See checkpoint.go.
+	ckpt checkpointLatch
 
 	// Straggler state: per-node host-side module durations for the
 	// current level (each node writes only its own slot, ordered against
@@ -231,6 +245,12 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	if root < 0 || int64(root) >= r.g.N {
 		return nil, fmt.Errorf("core: root %d out of range [0, %d)", root, r.g.N)
 	}
+	return r.run(root, nil)
+}
+
+// run executes one rooted BFS, from scratch (resume == nil) or from a
+// validated checkpoint (the Resume path).
+func (r *Runner) run(root graph.Vertex, resume *ckpt.Checkpoint) (*Result, error) {
 	r.curRoot = root
 	if pb := r.cfg.Obs.ProgressOf(); pb != nil {
 		pb.Publish(obs.LiveEvent{Kind: obs.EventRunStart, Root: int64(root)})
@@ -239,7 +259,14 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		sr.BeginRun(int64(root))
 	}
 
-	r.flight.BeginRun(int64(root), "bfs", r.cfg.Nodes, r.cfg.Transport.String())
+	if resume == nil {
+		r.flight.BeginRun(int64(root), "bfs", r.cfg.Nodes, r.cfg.Transport.String())
+	} else {
+		// Restore the black box instead of opening a new run: the run index
+		// and every pre-checkpoint event continue where the original left
+		// off, so a post-resume dump reconciles 1:1 with the injection log.
+		r.flight.RestoreState(resume.Machine.Flight)
+	}
 
 	// The injector is rebuilt per run so every Run against the same plan
 	// replays the same faults — the determinism contract of docs/CHAOS.md.
@@ -247,6 +274,19 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	if r.cfg.Chaos != nil {
 		r.inj = chaos.NewInjector(*r.cfg.Chaos, r.cfg.Obs.MetricsOf())
 		r.inj.SetFlight(r.flight)
+	} else if resume != nil && len(resume.Machine.Injections) > 0 {
+		// No plan for the remainder, but faults fired before the
+		// checkpoint: keep an (empty-schedule) injector so LastInjections
+		// still reports them.
+		r.inj = chaos.NewInjector(chaos.Plan{}, r.cfg.Obs.MetricsOf())
+		r.inj.SetFlight(r.flight)
+	}
+	if resume != nil {
+		// Pre-checkpoint faults already fired; seed the log so the resumed
+		// run's LastInjections matches an uninterrupted run's. A fired kill
+		// must be stripped from the plan by the caller (chaos.Plan.Without)
+		// — its coordinate lies in the re-run level and would strike again.
+		r.inj.SeedLog(resume.Machine.Injections)
 	}
 
 	net, err := comm.NewNetwork(comm.Config{
@@ -275,9 +315,35 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	r.hostHandlerNanos = make([]int64, r.cfg.Nodes)
 	r.stragglers = nil
 
+	r.ckpt.mu.Lock()
+	r.ckpt.pending, r.ckpt.staged, r.ckpt.written = nil, 0, 0
+	// A resumed run that dies before its next boundary still has a
+	// checkpoint to offer: the one it resumed from.
+	r.ckpt.latest = resume
+	r.ckpt.mu.Unlock()
+	if r.cfg.CheckpointEvery > 0 && r.cfg.Obs != nil {
+		r.cfg.Obs.Checkpoint = r // serve /debug/checkpoint
+	}
+
+	startLevel := 0
+	if resume != nil {
+		startLevel = resume.Level
+		if err := net.RestoreState(resume.Machine.Net); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.levels = append([]perf.LevelStats(nil), resume.Machine.Levels...)
+		r.lastSnap = resume.Machine.LastSnap
+		r.mu.Unlock()
+		r.levelTick.Store(int64(startLevel))
+	}
+
 	if r.hubs != nil {
 		r.hubInCurr = graph.NewBitmap(int64(r.hubsBottomUp))
 		r.hubVisited = graph.NewBitmap(int64(r.hubsBottomUp))
+		if resume != nil {
+			r.hubVisited.LoadWords(resume.Machine.HubVisited)
+		}
 	}
 
 	r.nodes = make([]*nodeState, r.cfg.Nodes)
@@ -312,14 +378,22 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		} else {
 			ns.ep = comm.NewDirectEndpoint(net, node)
 		}
+		if resume != nil {
+			if err := ns.restoreNode(resume.Nodes[node].Data); err != nil {
+				return nil, err
+			}
+			ns.policyReplica.SetState(Direction(resume.Machine.Policy))
+		}
 		r.nodes[node] = ns
 	}
 
-	// Seed the root.
-	owner := r.part.Owner(root)
-	rootLocal := r.part.Local(root)
-	r.nodes[owner].parent[rootLocal] = int64(root)
-	r.nodes[owner].curr.Set(rootLocal)
+	if resume == nil {
+		// Seed the root (a resumed run's frontier came from the checkpoint).
+		owner := r.part.Owner(root)
+		rootLocal := r.part.Local(root)
+		r.nodes[owner].parent[rootLocal] = int64(root)
+		r.nodes[owner].curr.Set(rootLocal)
+	}
 
 	// Per-level watchdog: if node 0's tick stops advancing for a whole
 	// timeout window, poison the network so every blocked module unwinds.
@@ -328,7 +402,10 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 	if r.cfg.LevelTimeout > 0 {
 		watchdogErr = make(chan error, 1)
 		watchdogStop = make(chan struct{})
-		r.flight.Control(obs.FlightWatchdogArm, -1, -1, "level timeout "+r.cfg.LevelTimeout.String())
+		if resume == nil {
+			// The restored rings already hold the original arm event.
+			r.flight.Control(obs.FlightWatchdogArm, -1, -1, "level timeout "+r.cfg.LevelTimeout.String())
+		}
 		go func() {
 			t := time.NewTicker(r.cfg.LevelTimeout)
 			defer t.Stop()
@@ -361,7 +438,7 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			errs[node] = r.nodes[node].runBFS()
+			errs[node] = r.nodes[node].runBFS(startLevel)
 		}(node)
 	}
 	wg.Wait()
@@ -400,6 +477,8 @@ func (r *Runner) Run(root graph.Vertex) (*Result, error) {
 			Injections:      r.inj.Log(),
 		}
 		ae.FlightDump, ae.FlightPath = r.postMortem(len(r.levels), cause)
+		ae.Checkpoint = r.LastCheckpoint()
+		ae.CheckpointPath = r.writeAbortCheckpoint(ae.Checkpoint)
 		return nil, ae
 	}
 
@@ -432,10 +511,11 @@ func (r *Runner) LastInjections() []chaos.Fault {
 	return r.inj.Log()
 }
 
-// runBFS is the per-node main loop of Algorithm 1.
-func (ns *nodeState) runBFS() error {
+// runBFS is the per-node main loop of Algorithm 1, entered at level 0 for
+// a fresh run or at the checkpoint boundary for a resumed one.
+func (ns *nodeState) runBFS(startLevel int) error {
 	r := ns.r
-	level := 0
+	level := startLevel
 	for {
 		// Node 0 opens the level's accounting window before the frontier
 		// collectives, so every byte of the level — statistics
@@ -557,6 +637,17 @@ func (ns *nodeState) runBFS() error {
 		ns.next.Or(ns.genNext)
 		ns.curr, ns.next = ns.next, ns.curr
 		ns.next.Reset()
+
+		// Level boundary: stage this node's checkpoint capture. Safe and
+		// free of extra collectives — no level-(level+1) traffic can be
+		// recorded until every node (each after its own capture here) joins
+		// the next level's first allreduce (see checkpoint.go).
+		if r.cfg.CheckpointEvery > 0 {
+			if err := r.stageCheckpoint(ns, level); err != nil {
+				r.net.Abort()
+				return err
+			}
+		}
 		level++
 	}
 }

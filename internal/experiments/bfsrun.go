@@ -69,6 +69,25 @@ var sharedFlightDump string
 // safe to call concurrently with running measurements.
 func SetFlightDump(path string) { sharedFlightDump = path }
 
+// sharedCheckpointEvery / sharedCheckpointPath arm level-boundary
+// checkpointing for functional measurements (see docs/CHAOS.md
+// "Checkpoint & resume").
+var (
+	sharedCheckpointEvery int
+	sharedCheckpointPath  string
+)
+
+// SetCheckpoint arms level-boundary checkpointing for all subsequent
+// measurements: every N completed levels the machine state is staged (and
+// written to path when non-empty; an abort also writes the newest
+// boundary next to the flight dump). every = 0 disables checkpointing.
+// Checkpointing changes no modelled number — the run's result is
+// bit-identical either way. Not safe to call concurrently with running
+// measurements.
+func SetCheckpoint(every int, path string) {
+	sharedCheckpointEvery, sharedCheckpointPath = every, path
+}
+
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
 // (oversubscribed) network level.
@@ -125,6 +144,8 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		LevelTimeout:       sharedLevelTimeout,
 		StragglerFactor:    sharedStragglerFactor,
 		FlightDump:         sharedFlightDump,
+		CheckpointEvery:    sharedCheckpointEvery,
+		CheckpointPath:     sharedCheckpointPath,
 	}
 	if sharedChaosPlan != nil {
 		cfg.Chaos = sharedChaosPlan

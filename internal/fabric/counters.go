@@ -99,6 +99,20 @@ func (c *Counters) Snapshot() Snapshot {
 	return s
 }
 
+// Restore overwrites the counters with the absolute values of a snapshot.
+// Used by the checkpoint/restart path to resume a run with the same
+// cumulative totals an uninterrupted run would have; callers must ensure no
+// concurrent recording (the runner restores before any node goroutine
+// starts).
+func (c *Counters) Restore(s Snapshot) {
+	for i := LinkClass(0); i < numLinkClasses; i++ {
+		c.bytes[i].Store(s.Bytes[i])
+		c.messages[i].Store(s.Messages[i])
+		c.collectiveBytes[i].Store(s.Collective[i])
+	}
+	c.collectiveOps.Store(s.CollectiveOps)
+}
+
 // CollectiveWireBytes is the snapshot's collective traffic that crossed a
 // wire (excludes the loopback share).
 func (s Snapshot) CollectiveWireBytes() int64 {

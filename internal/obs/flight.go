@@ -369,41 +369,135 @@ func (fr *FlightRecorder) Dump() *FlightDump {
 		rg.mu.Unlock()
 	}
 	sort.Slice(d.Events, func(i, j int) bool {
-		a, b := &d.Events[i], &d.Events[j]
-		if a.Run != b.Run {
-			return a.Run < b.Run
-		}
-		if a.Level != b.Level {
-			return a.Level < b.Level
-		}
-		if a.Node != b.Node {
-			return a.Node < b.Node
-		}
-		ra, rb := flightKindRank[a.Kind], flightKindRank[b.Kind]
-		if ra != rb {
-			return ra < rb
-		}
-		if a.Wire != b.Wire {
-			return a.Wire < b.Wire
-		}
-		if a.Channel != b.Channel {
-			return a.Channel < b.Channel
-		}
-		if a.Peer != b.Peer {
-			return a.Peer < b.Peer
-		}
-		if a.Op != b.Op {
-			return a.Op < b.Op
-		}
-		if a.Fault != b.Fault {
-			return a.Fault < b.Fault
-		}
-		return a.Detail < b.Detail
+		return flightEventLess(&d.Events[i], &d.Events[j])
 	})
 	for i := range d.Events {
 		d.Events[i].Seq = i
 	}
 	return d
+}
+
+// flightEventLess is the canonical flight-event order — (run, level, node,
+// kind, wire, channel, peer, op) — shared by Dump and CaptureState.
+func flightEventLess(a, b *FlightEvent) bool {
+	if a.Run != b.Run {
+		return a.Run < b.Run
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	ra, rb := flightKindRank[a.Kind], flightKindRank[b.Kind]
+	if ra != rb {
+		return ra < rb
+	}
+	if a.Wire != b.Wire {
+		return a.Wire < b.Wire
+	}
+	if a.Channel != b.Channel {
+		return a.Channel < b.Channel
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.Fault != b.Fault {
+		return a.Fault < b.Fault
+	}
+	return a.Detail < b.Detail
+}
+
+// FlightRingState is one ring's serialized contents.
+type FlightRingState struct {
+	// Events hold the surviving ring contents in the canonical order (ring
+	// insertion order interleaves per host scheduling; sorting at capture
+	// keeps checkpoint bytes deterministic). Seq is not meaningful here —
+	// Dump reassigns it after a restore.
+	Events []FlightEvent `json:"events"`
+	// Total is the ring's lifetime event count (total - len(events) were
+	// dropped to overflow).
+	Total int64 `json:"total"`
+}
+
+// FlightState is the recorder's checkpointable state: ring contents plus
+// run metadata. Per-stream op counters are intentionally absent — they are
+// keyed by level, completed levels never record again after a resume, and
+// the resumed level's streams restart from op 0 exactly as the original
+// run's did.
+type FlightState struct {
+	Runs  []FlightRunMeta   `json:"runs"`
+	Run   int               `json:"run"`
+	Rings []FlightRingState `json:"rings"`
+}
+
+// CaptureState snapshots the recorder for a checkpoint. Safe to call
+// concurrently with recording; the caller is responsible for quiescing the
+// machine first if it needs a consistent cut (the runner captures at level
+// barriers, where no traffic is in flight).
+func (fr *FlightRecorder) CaptureState() *FlightState {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.RLock()
+	rings := append([]*flightRing(nil), fr.rings...)
+	st := &FlightState{
+		Runs: append([]FlightRunMeta(nil), fr.runs...),
+		Run:  fr.run,
+	}
+	fr.mu.RUnlock()
+	for _, rg := range rings {
+		rg.mu.Lock()
+		rs := FlightRingState{
+			Events: append([]FlightEvent(nil), rg.buf...),
+			Total:  rg.total,
+		}
+		rg.mu.Unlock()
+		sort.Slice(rs.Events, func(i, j int) bool {
+			return flightEventLess(&rs.Events[i], &rs.Events[j])
+		})
+		st.Rings = append(st.Rings, rs)
+	}
+	return st
+}
+
+// RestoreState loads a captured state into the recorder, replacing its
+// contents. The resume path calls it instead of BeginRun, so the run index
+// and ring history continue exactly where the checkpoint left them. If the
+// recorder's capacity is smaller than a restored ring, the newest events
+// are kept (matching ring-overflow semantics).
+func (fr *FlightRecorder) RestoreState(st *FlightState) {
+	if fr == nil || st == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.runs = append([]FlightRunMeta(nil), st.Runs...)
+	fr.run = st.Run
+	fr.rings = fr.rings[:0]
+	for len(fr.rings) < len(st.Rings) || len(fr.rings) < 1 {
+		fr.rings = append(fr.rings, &flightRing{})
+	}
+	capacity := fr.capacity
+	rings := fr.rings
+	fr.mu.Unlock()
+	for i, rg := range rings {
+		if i >= len(st.Rings) {
+			break
+		}
+		events := st.Rings[i].Events
+		if len(events) > capacity {
+			events = events[len(events)-capacity:]
+		}
+		rg.mu.Lock()
+		rg.buf = append(rg.buf[:0], events...)
+		rg.next = 0
+		rg.total = st.Rings[i].Total
+		rg.ops = nil
+		rg.mu.Unlock()
+	}
 }
 
 // WriteFlightDump serializes a dump as indented JSON — the byte-stable

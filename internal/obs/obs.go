@@ -56,6 +56,20 @@ type Observer struct {
 	// so attach one here only to share it with the telemetry server or a
 	// -flight-dump flag.
 	Flight *FlightRecorder
+	// Checkpoint serves the latest level-boundary checkpoint at
+	// /debug/checkpoint. The engines install themselves here when
+	// checkpointing is enabled (core.Config.CheckpointEvery > 0).
+	Checkpoint CheckpointSource
+}
+
+// CheckpointSource is anything that can serve its latest checkpoint as
+// JSON. The runner and the algos driver implement it; obs stays ignorant
+// of the checkpoint schema (the ckpt package imports obs, not the other
+// way round).
+type CheckpointSource interface {
+	// CheckpointJSON returns the latest checkpoint's canonical JSON
+	// encoding, or ok=false when no level boundary has been captured yet.
+	CheckpointJSON() ([]byte, bool)
 }
 
 // New returns an Observer with the metrics and trace sinks enabled (the
@@ -103,4 +117,12 @@ func (o *Observer) FlightOf() *FlightRecorder {
 		return nil
 	}
 	return o.Flight
+}
+
+// CheckpointOf returns o.Checkpoint, tolerating a nil receiver.
+func (o *Observer) CheckpointOf() CheckpointSource {
+	if o == nil {
+		return nil
+	}
+	return o.Checkpoint
 }

@@ -16,6 +16,7 @@ import (
 //	/traces        completed RunTraces as JSON ({"runs": [...]})
 //	/events        live run progress as Server-Sent Events
 //	/debug/flight  flight-recorder dump as JSON (post-mortem black box)
+//	/debug/checkpoint  latest level-boundary checkpoint as JSON
 //	/debug/pprof/  net/http/pprof of the simulator process
 type Server struct {
 	http *http.Server
@@ -38,6 +39,7 @@ func NewMux(o *Observer) *http.ServeMux {
 		fmt.Fprintln(w, "  /traces       completed per-level BFS traces (JSON)")
 		fmt.Fprintln(w, "  /events       live run progress (SSE)")
 		fmt.Fprintln(w, "  /debug/flight flight-recorder dump (JSON)")
+		fmt.Fprintln(w, "  /debug/checkpoint latest level-boundary checkpoint (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/ host-side profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -72,6 +74,20 @@ func NewMux(o *Observer) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		WriteFlightDump(w, fr.Dump())
+	})
+	mux.HandleFunc("/debug/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		src := o.CheckpointOf()
+		if src == nil {
+			http.Error(w, "checkpointing not enabled on this observer (set -checkpoint-every)", http.StatusNotFound)
+			return
+		}
+		data, ok := src.CheckpointJSON()
+		if !ok {
+			http.Error(w, "no level boundary captured yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -27,6 +27,13 @@ type ScenarioSpec struct {
 	// Kernel selects a non-BFS kernel ("" runs the Graph500 BFS sweep;
 	// "wcc" runs one WCC fixpoint). Roots is ignored for kernel scenarios.
 	Kernel string
+	// CheckpointEvery arms level-boundary checkpointing (0 = off). The
+	// captures are in-memory only — no file is written — so the scenario
+	// measures the capture cost itself, not disk bandwidth. Checkpointing
+	// never perturbs the modelled machine, so a checkpoint twin must match
+	// its base scenario on every modelled metric; only host_seconds (a
+	// non-gating row) may move.
+	CheckpointEvery int
 }
 
 // DefaultScenarios is the standard sweep: the paper's flagship transport
@@ -48,6 +55,12 @@ func DefaultScenarios() []ScenarioSpec {
 		// the same way the BFS scenarios track the traversal pipeline.
 		{Name: "wcc-relay-cpe-s12-n16-w4", Scale: 12, Nodes: 16, SuperSize: 4,
 			Transport: core.TransportRelay, Engine: perf.EngineCPE, Kernel: "wcc"},
+		// The checkpoint twin of direct-cpe-s12-n16: every level boundary
+		// captures a checkpoint in memory. Its modelled metrics must equal
+		// the base scenario's exactly (+0.0% — checkpointing is host-only);
+		// host_seconds tracks the capture overhead as a non-gating row.
+		{Name: "direct-cpe-s12-n16-ckpt1", Scale: 12, Nodes: 16, SuperSize: 4, Roots: 4,
+			Transport: core.TransportDirect, Engine: perf.EngineCPE, CheckpointEvery: 1},
 	}
 }
 
@@ -110,6 +123,9 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 		// parallel paths; only host_seconds can move with it.
 		Workers: 4,
 		Obs:     observer,
+		// In-memory level-boundary checkpointing (no CheckpointPath, so
+		// nothing hits disk). Zero for every scenario but the -ckpt twin.
+		CheckpointEvery: spec.CheckpointEvery,
 	}
 	hostStart := time.Now()
 	report, err := graph500.Run(graph500.BenchConfig{
@@ -132,13 +148,14 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 		}
 	}
 	sc := Scenario{
-		Name:      spec.Name,
-		Scale:     spec.Scale,
-		Nodes:     spec.Nodes,
-		SuperSize: spec.SuperSize,
-		Roots:     spec.Roots,
-		Transport: spec.Transport.String(),
-		Engine:    spec.Engine.String(),
+		Name:            spec.Name,
+		Scale:           spec.Scale,
+		Nodes:           spec.Nodes,
+		SuperSize:       spec.SuperSize,
+		Roots:           spec.Roots,
+		Transport:       spec.Transport.String(),
+		Engine:          spec.Engine.String(),
+		CheckpointEvery: spec.CheckpointEvery,
 
 		GTEPS:         report.GTEPSHarmonicMean(),
 		KernelSeconds: report.KernelTime.Mean,

@@ -52,6 +52,10 @@ type Scenario struct {
 	// BFS sweep). For kernel scenarios GTEPS is the modelled round
 	// throughput of the single run and Levels is its round count.
 	Kernel string `json:"kernel,omitempty"`
+	// CheckpointEvery records the level-boundary checkpoint cadence the
+	// scenario ran with (0 = off). Checkpoint capture is host-only, so a
+	// nonzero cadence may move host_seconds but no modelled metric.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 
 	// Headline results (modelled machine; deterministic per seed).
 	GTEPS          float64 `json:"gteps_harmonic_mean"`

@@ -3,6 +3,7 @@ package trend
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -271,5 +272,36 @@ func TestCollectKernelScenario(t *testing.T) {
 	bad.Kernel = "nope"
 	if _, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{bad}}); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
 		t.Errorf("unknown kernel not rejected: %v", err)
+	}
+}
+
+// TestCollectCheckpointTwinIsModelledIdentical is the claim behind the
+// direct-cpe-s12-n16-ckpt1 sweep scenario: arming level-boundary
+// checkpointing moves no modelled metric at all — the twin differs from
+// its base only in host_seconds (and the checkpoint_every echo).
+func TestCollectCheckpointTwinIsModelledIdentical(t *testing.T) {
+	base := ScenarioSpec{
+		Name: "tiny", Scale: 10, Nodes: 4, SuperSize: 2, Roots: 2,
+		Transport: core.TransportDirect, Engine: perf.EngineCPE,
+	}
+	twin := base
+	twin.Name = "tiny-ckpt1"
+	twin.CheckpointEvery = 1
+
+	snap, err := Collect(Options{Seed: 1, Scenarios: []ScenarioSpec{base, twin}})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	b, c := snap.Scenarios[0], snap.Scenarios[1]
+	if c.CheckpointEvery != 1 {
+		t.Fatalf("twin lost its checkpoint_every echo: %+v", c)
+	}
+	// Erase the fields that are allowed to differ, then demand equality
+	// of everything else — headline numbers, traffic, per-level timings.
+	b.Name, c.Name = "", ""
+	b.CheckpointEvery, c.CheckpointEvery = 0, 0
+	b.HostSeconds, c.HostSeconds = 0, 0
+	if !reflect.DeepEqual(b, c) {
+		t.Errorf("checkpointing perturbed a modelled metric:\n  base: %+v\n  twin: %+v", b, c)
 	}
 }
