@@ -45,7 +45,8 @@ chaos:
 # corpus — a smoke pass, not a soak; raise FUZZTIME for a real session.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeRoundTrip -fuzztime=$(FUZZTIME) ./internal/comm/
+	$(GO) test -run='^$$' -fuzz='^FuzzEnvelopeRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/comm/
+	$(GO) test -run='^$$' -fuzz='^FuzzCodecRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzBitmapWordScan -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/ckpt/
 

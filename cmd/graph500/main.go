@@ -45,6 +45,8 @@ func main() {
 		vertices   = flag.Int64("vertices", 0, "vertex count for -input (0 = max vertex ID + 1)")
 		verbose    = flag.Bool("verbose", false, "print per-root and per-level detail")
 		compress   = flag.Bool("compress", false, "enable varint-delta message compression (Section 7 extension)")
+		codec      = flag.String("codec", "", "wire codec for every channel: raw | varint-delta | bitmap | adaptive (empty = raw; see docs/ARCHITECTURE.md)")
+		codecBwd   = flag.String("codec-backward", "", "wire codec override for the backward (bottom-up) channel only: raw | varint-delta | bitmap | adaptive (empty = no override)")
 		trace      = flag.String("trace", "", "write per-root/per-level statistics as JSON lines to this file")
 		metrics    = flag.Bool("metrics", false, "print the unified metrics registry after the run (see docs/OBSERVABILITY.md)")
 		traceOut   = flag.String("trace-out", "", "write the structured per-level BFS trace (one RunTrace per root) as JSON to this file")
@@ -96,6 +98,20 @@ func main() {
 
 	if *compress {
 		machine.Codec = comm.VarintDeltaCodec{}
+	}
+	if *codec != "" {
+		c, err := comm.CodecByName(*codec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		machine.Codec = c
+	}
+	if *codecBwd != "" {
+		c, err := comm.CodecByName(*codecBwd)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		machine.CodecBackward = c
 	}
 	machine.LevelTimeout = *levelTimeout
 	machine.StragglerFactor = *stragglerFactor

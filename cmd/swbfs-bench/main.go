@@ -32,6 +32,7 @@ import (
 
 	"swbfs/internal/chaos"
 	"swbfs/internal/ckpt"
+	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/experiments"
 	"swbfs/internal/graph"
@@ -52,6 +53,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		exectrace  = flag.String("exec-trace", "", "write a runtime/trace execution trace of the sweep to this file")
 		workers    = flag.Int("workers", 0, "host worker goroutines per simulated node (0 = GOMAXPROCS/nodes; results are identical for every width)")
+		codec      = flag.String("codec", "", "wire codec for every channel of functional runs: raw | varint-delta | bitmap | adaptive (empty = raw; see docs/ARCHITECTURE.md)")
+		codecBwd   = flag.String("codec-backward", "", "wire codec override for the backward (bottom-up) channel of functional runs: raw | varint-delta | bitmap | adaptive (empty = no override)")
 		flightDump = flag.String("flight-dump", "", "write the flight-recorder post-mortem of an aborted functional run to this file (default: <-trace-out>.flight.json when -trace-out is set; render with flightview)")
 
 		checkpointEvery = flag.Int("checkpoint-every", 0, "write a resumable machine checkpoint every N completed levels of each functional measurement (0 = off; see docs/CHAOS.md)")
@@ -75,6 +78,15 @@ func main() {
 		cmd = flag.Arg(0)
 	}
 	experiments.SetWorkers(*workers)
+	codecAll, err := comm.CodecByName(*codec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	codecBackward, err := comm.CodecByName(*codecBwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	experiments.SetCodec(codecAll, codecBackward)
 	experiments.SetLevelTimeout(*levelTimeout)
 	experiments.SetStragglerFactor(*stragglerFactor)
 	if *flightDump == "" && *traceOut != "" {

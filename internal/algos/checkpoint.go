@@ -64,6 +64,10 @@ func driverMachineConfig(cfg core.Config, g *graph.CSR) ckpt.MachineConfig {
 	if cfg.Codec != nil {
 		codec = cfg.Codec.Name()
 	}
+	codecBackward := ""
+	if cfg.CodecBackward != nil {
+		codecBackward = cfg.CodecBackward.Name()
+	}
 	alpha, beta := cfg.Alpha, cfg.Beta
 	if alpha == 0 {
 		alpha = core.DefaultAlpha
@@ -87,6 +91,7 @@ func driverMachineConfig(cfg core.Config, g *graph.CSR) ckpt.MachineConfig {
 		BatchBytes:         cfg.BatchBytes,
 		MPIMemoryBudget:    cfg.MPIMemoryBudget,
 		Codec:              codec,
+		CodecBackward:      codecBackward,
 		Partition:          core.PartitionRoundRobin.String(),
 		GraphN:             g.N,
 		GraphEdges:         g.NumEdges(),

@@ -221,6 +221,7 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 		BatchBytes:      cfg.BatchBytes,
 		MPIMemoryBudget: cfg.MPIMemoryBudget,
 		Codec:           cfg.Codec,
+		CodecBackward:   cfg.CodecBackward,
 		Chaos:           inj,
 		Flight:          flight,
 	})
@@ -451,7 +452,9 @@ func Run(cfg core.Config, g *graph.CSR, opts RunOptions, makeAlgo func(ctx *Node
 	if t := cfg.Obs.TraceOf(); t != nil {
 		final := net.Counters.Snapshot()
 		term := final.Sub(st.lastSnap)
-		t.Record(buildTrace(opts, info, model, final, term))
+		rt := buildTrace(opts, info, model, final, term)
+		rt.CodecTraffic = net.CodecTraffic()
+		t.Record(rt)
 	}
 	if sr := cfg.Obs.SpansOf(); sr != nil {
 		sr.EndRun(info.Time, buildSpans(cfg.Engine, model, info, nodes, workers), nil)

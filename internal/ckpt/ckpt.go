@@ -65,7 +65,11 @@ type MachineConfig struct {
 	BatchBytes      int64  `json:"batch_bytes,omitempty"`
 	MPIMemoryBudget int64  `json:"mpi_memory_budget,omitempty"`
 	Codec           string `json:"codec"`
-	Partition       string `json:"partition"`
+	// CodecBackward is the backward-channel codec override ("" = none).
+	// Absent from files written before per-channel codecs existed, so
+	// those parse — and fingerprint — exactly as they always did.
+	CodecBackward string `json:"codec_backward,omitempty"`
+	Partition     string `json:"partition"`
 
 	// GraphN and GraphEdges identify the graph (the file does not embed the
 	// graph itself; the resume caller must rebuild the same one).
@@ -77,12 +81,18 @@ type MachineConfig struct {
 // Resume refuses a checkpoint whose fingerprint does not match the machine
 // it is being loaded into.
 func (mc MachineConfig) Fingerprint() string {
-	return fmt.Sprintf("nodes=%d super=%d transport=%s engine=%s groupM=%d dir=%t alpha=%x beta=%x hubs=%t/%d/%d smallmpe=%t batch=%d budget=%d codec=%s part=%s graph=%d/%d",
+	fp := fmt.Sprintf("nodes=%d super=%d transport=%s engine=%s groupM=%d dir=%t alpha=%x beta=%x hubs=%t/%d/%d smallmpe=%t batch=%d budget=%d codec=%s part=%s graph=%d/%d",
 		mc.Nodes, mc.SuperNodeSize, mc.Transport, mc.Engine, mc.GroupM,
 		mc.DirectionOptimized, mc.AlphaBits, mc.BetaBits,
 		mc.HubPrefetch, mc.HubsTopDown, mc.HubsBottomUp,
 		mc.SmallMessageMPE, mc.BatchBytes, mc.MPIMemoryBudget,
 		mc.Codec, mc.Partition, mc.GraphN, mc.GraphEdges)
+	if mc.CodecBackward != "" {
+		// Appended only when set: every fingerprint ever written without a
+		// backward codec stays byte-identical.
+		fp += " codecB=" + mc.CodecBackward
+	}
+	return fp
 }
 
 // MachineState is the machine-wide (node-agnostic) state at the boundary.

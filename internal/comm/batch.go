@@ -105,6 +105,21 @@ type Batch struct {
 	// second before any processing or accounting. The copies share the
 	// Pairs slice, so the discarded one must never be recycled.
 	DupID int64
+
+	// Enc, when non-nil, is the payload in its codec-encoded wire form:
+	// deliver encoded Pairs into a pooled buffer and the receiving
+	// endpoint decodes it back before any handler sees the batch. EncN
+	// remembers the pair count for flight accounting and decode
+	// pre-allocation. Like Pairs, a chaos-duplicate's shared buffer must
+	// never be recycled twice; the discarded copy only reads EncN.
+	Enc  []byte
+	EncN int
+
+	// NoCodec ships the batch raw regardless of the channel codec. Relay
+	// stage-two re-batches set it: their composition depends on envelope
+	// arrival interleaving at the relay, so encoding them would make
+	// modelled wire bytes scheduling-dependent.
+	NoCodec bool
 }
 
 // ByteSize returns the modelled wire size of the batch.

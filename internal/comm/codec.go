@@ -3,26 +3,27 @@ package comm
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"swbfs/internal/graph"
 )
 
 // Codec models a message compression scheme for data batches. The paper
 // (Section 7) lists message compression as an orthogonal optimization that
-// "may be integrated with our work in future"; this hook integrates it:
-// the codec determines the modelled wire size of every data batch, so its
-// effect flows straight into the traffic counters and the timing model.
-// Pair content is never altered — only the accounted bytes change, exactly
-// like a lossless wire codec.
+// "may be integrated with our work in future"; this hook integrates it.
+// A plain Codec only reshapes the accounted wire size; a PayloadCodec
+// (see wirecodec.go) additionally runs on the real transport path — the
+// batch travels as its encoded bytes and the modelled wire size is the
+// exact encoded length.
 type Codec interface {
 	// Name labels the codec in reports.
 	Name() string
-	// EncodedSize returns the wire size of a pair payload in bytes.
+	// EncodedSize returns the wire size of a pair payload in bytes
+	// (forward-channel key semantics for the channel-aware codecs).
 	EncodedSize(pairs []Pair) int64
 }
 
-// RawCodec is the identity encoding: 16 bytes per pair.
+// RawCodec is the identity encoding: 16 bytes per pair, no wire
+// transformation. It is the nil-codec default spelled out.
 type RawCodec struct{}
 
 // Name implements Codec.
@@ -37,116 +38,155 @@ func (RawCodec) EncodedSize(pairs []Pair) int64 {
 // Petrini): within one batch all pairs go to the same owner, so
 // destination vertices are dense and clustered — sort by destination,
 // delta-encode destinations, and varint both the deltas and the sources.
+// Its wire stream is the legacy untagged format (destination-keyed on
+// both channels); AdaptiveCodec embeds the same layout behind a format
+// tag with channel-aware keying.
 type VarintDeltaCodec struct{}
 
 // Name implements Codec.
 func (VarintDeltaCodec) Name() string { return "varint-delta" }
 
-// EncodedSize implements Codec.
+// EncodedSize implements Codec. It shares the pooled sorted scratch with
+// EncodePairs, so sizing a batch neither allocates nor re-sorts on the
+// steady-state hot path.
 func (VarintDeltaCodec) EncodedSize(pairs []Pair) int64 {
 	if len(pairs) == 0 {
 		return 0
 	}
-	// Destination is pairs[i][1] on the forward channel; sort a copy of
-	// the destination column and size the deltas.
-	dsts := make([]int64, len(pairs))
-	for i, p := range pairs {
-		dsts[i] = int64(p[1])
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	s := getScratch(pairs, 1)
+	defer s.release()
+	return legacyVarintSize(s.sorter.ps)
+}
 
+// legacyVarintSize sizes the untagged stream over (dst, src)-sorted pairs:
+// uvarint destination deltas (first absolute) plus uvarint sources. Both
+// sums are order-independent within a destination, so sorting the full
+// pairs — rather than just the destination column — changes nothing.
+func legacyVarintSize(sorted []Pair) int64 {
 	var size int64
 	prev := int64(0)
-	var buf [binary.MaxVarintLen64]byte
-	for i, d := range dsts {
-		delta := d - prev
+	for i := range sorted {
+		d := int64(sorted[i][1])
+		delta := uint64(d - prev)
 		if i == 0 {
-			delta = d
+			delta = uint64(d)
 		}
-		size += int64(binary.PutUvarint(buf[:], uint64(delta)))
+		size += uvarintLen(delta) + uvarintLen(uint64(sorted[i][0]))
 		prev = d
 	}
-	// Sources are arbitrary vertex IDs: varint each (no delta structure).
-	for _, p := range pairs {
-		size += int64(binary.PutUvarint(buf[:], uint64(p[0])))
-	}
 	return size
+}
+
+// appendLegacyVarint emits the untagged stream over sorted pairs: per
+// pair, uvarint(dstDelta) uvarint(src).
+func appendLegacyVarint(dst []byte, sorted []Pair) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for i := range sorted {
+		d := int64(sorted[i][1])
+		delta := uint64(d - prev)
+		if i == 0 {
+			delta = uint64(d)
+		}
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], delta)]...)
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(sorted[i][0]))]...)
+		prev = d
+	}
+	return dst
 }
 
 // EncodePairs serializes a payload in the codec's wire format: pairs are
 // sorted by (destination, source), destinations delta-encoded, and each
 // pair emitted as uvarint(dstDelta) uvarint(src). The byte length always
-// equals EncodedSize — both sums are order-independent, so sorting the
-// whole pairs (rather than just the destination column EncodedSize sizes)
-// changes nothing. Ordering is normalized, not preserved: DecodePairs
+// equals EncodedSize. Ordering is normalized, not preserved: DecodePairs
 // returns the same multiset sorted by (dst, src).
 func (VarintDeltaCodec) EncodePairs(pairs []Pair) []byte {
 	if len(pairs) == 0 {
 		return nil
 	}
-	sorted := make([]Pair, len(pairs))
-	copy(sorted, pairs)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i][1] != sorted[j][1] {
-			return sorted[i][1] < sorted[j][1]
-		}
-		return sorted[i][0] < sorted[j][0]
-	})
-	out := make([]byte, 0, len(pairs)*4)
-	var buf [binary.MaxVarintLen64]byte
-	prev := int64(0)
-	for i, p := range sorted {
-		delta := int64(p[1]) - prev
-		if i == 0 {
-			delta = int64(p[1])
-		}
-		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(delta))]...)
-		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(p[0]))]...)
-		prev = int64(p[1])
-	}
-	return out
+	s := getScratch(pairs, 1)
+	defer s.release()
+	return appendLegacyVarint(make([]byte, 0, len(pairs)*4), s.sorter.ps)
 }
 
 // DecodePairs inverts EncodePairs: pairs come back sorted by (dst, src).
 // An error reports a truncated or malformed stream.
-func (VarintDeltaCodec) DecodePairs(data []byte) ([]Pair, error) {
-	var pairs []Pair
+func (c VarintDeltaCodec) DecodePairs(data []byte) ([]Pair, error) {
+	return c.DecodePayload(nil, data)
+}
+
+// PayloadSize implements PayloadCodec (the legacy format is
+// destination-keyed on every channel, so the channel is immaterial).
+func (c VarintDeltaCodec) PayloadSize(_ Channel, pairs []Pair) int64 {
+	return c.EncodedSize(pairs)
+}
+
+// EncodePayload implements PayloadCodec, appending the untagged legacy
+// stream to dst.
+func (VarintDeltaCodec) EncodePayload(dst []byte, _ Channel, pairs []Pair) ([]byte, WireFormat) {
+	s := getScratch(pairs, 1)
+	defer s.release()
+	return appendLegacyVarint(dst, s.sorter.ps), FormatVarintDelta
+}
+
+// DecodePayload implements PayloadCodec.
+func (VarintDeltaCodec) DecodePayload(dst []Pair, data []byte) ([]Pair, error) {
 	prev := int64(0)
 	for len(data) > 0 {
 		delta, n := binary.Uvarint(data)
 		if n <= 0 {
-			return nil, fmt.Errorf("comm: varint-delta payload: bad destination delta at pair %d", len(pairs))
+			return dst, fmt.Errorf("comm: varint-delta payload: bad destination delta at pair %d", len(dst))
 		}
 		data = data[n:]
 		src, n := binary.Uvarint(data)
 		if n <= 0 {
-			return nil, fmt.Errorf("comm: varint-delta payload: truncated source at pair %d", len(pairs))
+			return dst, fmt.Errorf("comm: varint-delta payload: truncated source at pair %d", len(dst))
 		}
 		data = data[n:]
-		dst := prev + int64(delta)
-		pairs = append(pairs, Pair{graph.Vertex(src), graph.Vertex(dst)})
-		prev = dst
+		d := prev + int64(delta)
+		dst = append(dst, Pair{graph.Vertex(src), graph.Vertex(d)})
+		prev = d
 	}
-	return pairs, nil
+	return dst, nil
 }
 
-// codecOf returns the network's codec (RawCodec when unset).
-func (n *Network) codecOf() Codec {
+// codecFor returns the codec governing a channel: the backward override
+// when set, else the run-wide codec, else RawCodec.
+func (n *Network) codecFor(ch Channel) Codec {
+	if ch == ChanBackward && n.codecBackward != nil {
+		return n.codecBackward
+	}
 	if n.codec == nil {
 		return RawCodec{}
 	}
 	return n.codec
 }
 
-// wireSize returns the modelled wire size of a batch under the network's
-// codec: data payloads are encoded, envelopes encode their inner batches,
-// headers stay fixed.
+// wireSize returns the modelled wire size of a batch. Payload-encoded
+// batches charge their exact encoded length; relay stage-two re-batches
+// (Batch.NoCodec) and raw channels charge 16 bytes per pair; a plain
+// accounting-only Codec keeps its modelled EncodedSize. Envelopes add
+// their inner batches; headers stay fixed.
 func (n *Network) wireSize(b *Batch) int64 {
-	codec := n.codecOf()
+	codec := n.codecFor(b.Channel)
 	if _, raw := codec.(RawCodec); raw {
 		return b.ByteSize()
 	}
-	size := int64(batchHeaderBytes) + codec.EncodedSize(b.Pairs)
+	size := int64(batchHeaderBytes)
+	switch {
+	case b.Enc != nil:
+		size += int64(len(b.Enc))
+	case b.NoCodec:
+		size += int64(len(b.Pairs)) * PairBytes
+	default:
+		if _, ok := codec.(PayloadCodec); ok {
+			// Payload codecs encode in deliver; only empty payloads (end
+			// markers, bare envelopes) reach here.
+			size += int64(len(b.Pairs)) * PairBytes
+		} else {
+			size += codec.EncodedSize(b.Pairs)
+		}
+	}
 	for i := range b.Inner {
 		size += n.wireSize(&b.Inner[i])
 	}

@@ -235,6 +235,9 @@ func (e *DirectEndpoint) Recv() Event {
 			e.net.flightDupDrop(e.node, &b)
 			continue // chaos duplicate: the first copy was already delivered
 		}
+		if err := e.net.decodeForWire(&b); err != nil {
+			return Event{Type: EvError, Err: err}
+		}
 		e.net.flightRecv(e.node, &b)
 		if b.Level != e.level {
 			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",

@@ -88,9 +88,18 @@ type Config struct {
 	// MPIMemoryBudget is the per-node connection memory cap
 	// (DefaultMPIMemoryBudget if zero).
 	MPIMemoryBudget int64
-	// Codec compresses data payloads on the wire (nil = RawCodec). Only
-	// the accounted traffic changes; delivery is lossless.
+	// Codec compresses data payloads on the wire (nil = RawCodec). A
+	// PayloadCodec runs on the real transport path — batches travel as
+	// their encoded bytes and are decoded on arrival; a plain Codec only
+	// reshapes the accounted traffic. Delivery is lossless either way.
 	Codec Codec
+	// CodecBackward, when non-nil, overrides Codec on the backward
+	// channel. The bottom-up query waves are the dense traffic where the
+	// bitmap/adaptive layouts win; keeping the forward channel raw also
+	// keeps modelled wire bytes deterministic, because bottom-up forward
+	// replies are emitted in arrival order (see docs/ARCHITECTURE.md,
+	// "Wire encoding").
+	CodecBackward Codec
 	// Chaos, when non-nil, injects the compiled fault plan into every
 	// delivery (see internal/chaos and docs/CHAOS.md).
 	Chaos *chaos.Injector
@@ -106,9 +115,10 @@ type Network struct {
 	Topo     fabric.Topology
 	Counters *fabric.Counters
 
-	batchBytes int64
-	budget     int64
-	codec      Codec
+	batchBytes    int64
+	budget        int64
+	codec         Codec
+	codecBackward Codec
 
 	inboxes []*Inbox
 
@@ -124,6 +134,13 @@ type Network struct {
 	// relay envelopes) — the batching-ratio statistics the observability
 	// layer reports.
 	kindMsgs [numKinds]atomicInt64
+
+	// codecMsgs/codecBytes count payload-encoded messages and their
+	// encoded bytes per wire format (direct data batches and relay
+	// stage-one inner batches each count once). All zero when no
+	// PayloadCodec is configured.
+	codecMsgs  [numWireFormats]atomicInt64
+	codecBytes [numWireFormats]atomicInt64
 
 	// chaos injects scheduled faults into deliveries (nil = perfect
 	// fabric). retries counts retransmissions after transient faults;
@@ -156,17 +173,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg.MPIMemoryBudget = DefaultMPIMemoryBudget
 	}
 	n := &Network{
-		Topo:       topo,
-		Counters:   &fabric.Counters{},
-		batchBytes: cfg.BatchBytes,
-		budget:     cfg.MPIMemoryBudget,
-		inboxes:    make([]*Inbox, cfg.Nodes),
-		conns:      make([]map[int]struct{}, cfg.Nodes),
-		nodeMsgs:   make([]atomicInt64, cfg.Nodes),
-		nodeBytes:  make([]atomicInt64, cfg.Nodes),
-		codec:      cfg.Codec,
-		chaos:      cfg.Chaos,
-		flight:     cfg.Flight,
+		Topo:          topo,
+		Counters:      &fabric.Counters{},
+		batchBytes:    cfg.BatchBytes,
+		budget:        cfg.MPIMemoryBudget,
+		inboxes:       make([]*Inbox, cfg.Nodes),
+		conns:         make([]map[int]struct{}, cfg.Nodes),
+		nodeMsgs:      make([]atomicInt64, cfg.Nodes),
+		nodeBytes:     make([]atomicInt64, cfg.Nodes),
+		codec:         cfg.Codec,
+		codecBackward: cfg.CodecBackward,
+		chaos:         cfg.Chaos,
+		flight:        cfg.Flight,
 	}
 	for i := range n.inboxes {
 		n.inboxes[i] = NewInbox()
@@ -251,6 +269,7 @@ func (n *Network) deliver(b Batch) error {
 		n.retries.Add(1)
 		time.Sleep(retryBackoff)
 	}
+	n.encodeForWire(&b)
 	class := n.Topo.Classify(b.Src, b.Dst)
 	wire := n.wireSize(&b)
 	n.kindMsgs[b.Kind].Add(1)
@@ -271,13 +290,79 @@ func (n *Network) deliver(b Batch) error {
 }
 
 // payloadPairs counts the vertex pairs a batch carries, descending into
-// relay envelopes — the payload figure flight events report.
+// relay envelopes — the payload figure flight events report. An encoded
+// batch carries its pre-encoding pair count.
 func payloadPairs(b *Batch) int {
 	pairs := len(b.Pairs)
+	if b.Enc != nil {
+		pairs = b.EncN
+	}
 	for i := range b.Inner {
 		pairs += payloadPairs(&b.Inner[i])
 	}
 	return pairs
+}
+
+// encodeForWire replaces a data payload with its codec-encoded bytes when
+// the channel's codec runs on the real path: direct data batches and the
+// inner batches of a relay stage-one envelope. Stage-two re-batches
+// (NoCodec) and empty payloads pass through. The pair slice returns to
+// the pool — the receiver gets a freshly decoded pooled slice instead.
+func (n *Network) encodeForWire(b *Batch) {
+	switch b.Kind {
+	case KindData:
+		if b.NoCodec || len(b.Pairs) == 0 {
+			return
+		}
+		pc, ok := n.codecFor(b.Channel).(PayloadCodec)
+		if !ok {
+			return
+		}
+		enc, format := pc.EncodePayload(getEncBuf(), b.Channel, b.Pairs)
+		n.codecMsgs[format].Add(1)
+		n.codecBytes[format].Add(int64(len(enc)))
+		b.EncN = len(b.Pairs)
+		PutPairs(b.Pairs)
+		b.Pairs = nil
+		b.Enc = enc
+	case KindRelayData:
+		for i := range b.Inner {
+			n.encodeForWire(&b.Inner[i])
+		}
+	}
+}
+
+// decodeForWire restores the pair payload of an encoded batch (and, for
+// envelopes, of every inner batch) into pooled slices. Endpoints call it
+// once per consumed delivery, after duplicate discarding and before any
+// handler or relay accounting sees the batch. A decode failure is a
+// transport invariant violation and aborts the run.
+func (n *Network) decodeForWire(b *Batch) error {
+	if b.Enc != nil {
+		pc, ok := n.codecFor(b.Channel).(PayloadCodec)
+		if !ok {
+			return fmt.Errorf("comm: encoded %s batch on channel %s without a payload codec", b.Kind, b.Channel)
+		}
+		pairs, err := pc.DecodePayload(GetPairs(b.EncN)[:0], b.Enc)
+		if err != nil {
+			PutPairs(pairs)
+			return fmt.Errorf("comm: node %d payload from %d: %w", b.Dst, b.Src, err)
+		}
+		if len(pairs) != b.EncN {
+			PutPairs(pairs)
+			return fmt.Errorf("comm: node %d payload from %d decoded to %d pairs, want %d",
+				b.Dst, b.Src, len(pairs), b.EncN)
+		}
+		putEncBuf(b.Enc)
+		b.Enc = nil
+		b.Pairs = pairs
+	}
+	for i := range b.Inner {
+		if err := n.decodeForWire(&b.Inner[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // flightRecv records a consumed delivery in the flight recorder; endpoints
@@ -375,6 +460,29 @@ func (n *Network) MetricsInto(r *obs.Registry) {
 	if v := n.retries.Load(); v > 0 {
 		r.Counter("comm.retries").Add(v)
 	}
+	for f := WireFormat(0); f < numWireFormats; f++ {
+		if msgs := n.codecMsgs[f].Load(); msgs > 0 {
+			r.Counter("comm.codec.messages." + f.String()).Add(msgs)
+			r.Counter("comm.codec.bytes." + f.String()).Add(n.codecBytes[f].Load())
+		}
+	}
+}
+
+// CodecTraffic reports the per-wire-format encoded traffic of the run:
+// one entry per format that carried at least one payload, in format
+// order. Empty when no PayloadCodec ran.
+func (n *Network) CodecTraffic() []obs.CodecFormatTraffic {
+	var out []obs.CodecFormatTraffic
+	for f := WireFormat(0); f < numWireFormats; f++ {
+		if msgs := n.codecMsgs[f].Load(); msgs > 0 {
+			out = append(out, obs.CodecFormatTraffic{
+				Format:   f.String(),
+				Messages: msgs,
+				Bytes:    n.codecBytes[f].Load(),
+			})
+		}
+	}
+	return out
 }
 
 // NetState is the network's checkpointable counter state. It captures
@@ -391,6 +499,11 @@ type NetState struct {
 	// Conns[src] lists the destination nodes src has connected to, sorted.
 	Conns   [][]int `json:"conns"`
 	Retries int64   `json:"retries"`
+	// CodecMsgs/CodecBytes carry the per-wire-format payload counters,
+	// indexed by WireFormat. Omitted entirely when no payload codec ran,
+	// so checkpoints of codec-free runs are byte-identical to older ones.
+	CodecMsgs  []int64 `json:"codec_msgs,omitempty"`
+	CodecBytes []int64 `json:"codec_bytes,omitempty"`
 }
 
 // CaptureState snapshots the network's counters for a checkpoint. The
@@ -410,6 +523,17 @@ func (n *Network) CaptureState() NetState {
 	}
 	for k := Kind(0); k < numKinds; k++ {
 		st.KindMsgs[k] = n.kindMsgs[k].Load()
+	}
+	for f := WireFormat(0); f < numWireFormats; f++ {
+		if n.codecMsgs[f].Load() > 0 {
+			st.CodecMsgs = make([]int64, numWireFormats)
+			st.CodecBytes = make([]int64, numWireFormats)
+			for g := WireFormat(0); g < numWireFormats; g++ {
+				st.CodecMsgs[g] = n.codecMsgs[g].Load()
+				st.CodecBytes[g] = n.codecBytes[g].Load()
+			}
+			break
+		}
 	}
 	n.connMu.Lock()
 	st.Conns = make([][]int, len(n.conns))
@@ -442,6 +566,12 @@ func (n *Network) RestoreState(st NetState) error {
 	}
 	for k := Kind(0); k < numKinds && int(k) < len(st.KindMsgs); k++ {
 		n.kindMsgs[k].Store(st.KindMsgs[k])
+	}
+	for f := WireFormat(0); f < numWireFormats && int(f) < len(st.CodecMsgs); f++ {
+		n.codecMsgs[f].Store(st.CodecMsgs[f])
+	}
+	for f := WireFormat(0); f < numWireFormats && int(f) < len(st.CodecBytes); f++ {
+		n.codecBytes[f].Store(st.CodecBytes[f])
 	}
 	n.connMu.Lock()
 	for src, dsts := range st.Conns {

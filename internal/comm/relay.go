@@ -185,12 +185,17 @@ func (s *relaySend) start(n int) {
 // messages within its group.
 //
 // Both stages drain in fixed quanta (Network.QuantumPairs), so batch
-// counts and wire bytes depend only on per-group / per-destination pair
-// totals — not on how senders chunked their calls or on relay arrival
-// interleaving. The one residual nondeterminism is the per-destination
-// composition of a mid-level stage-one envelope when two modules race on
-// the same channel; BFS never does that (generators and handler replies
-// use different channels), so modelled traffic stays reproducible.
+// counts — and, for content-independent sizing, wire bytes — depend only
+// on per-group / per-destination pair totals, not on how senders chunked
+// their calls or on relay arrival interleaving. Stage-two batches
+// therefore ship NoCodec: their *content* does depend on envelope arrival
+// order, and a payload codec's byte count is content-sensitive. The one
+// residual nondeterminism is the per-destination composition of a
+// mid-level stage-one envelope when two modules race on the same channel;
+// BFS never does that (generators and handler replies use different
+// channels), so modelled traffic stays reproducible. (With a payload
+// codec on the forward channel, bottom-up reply batches are still
+// arrival-ordered — see the determinism note in docs/ARCHITECTURE.md.)
 type RelayEndpoint struct {
 	net   *Network
 	node  int
@@ -384,6 +389,9 @@ func (e *RelayEndpoint) Recv() Event {
 			e.net.flightDupDrop(e.node, &b)
 			continue // chaos duplicate: the first copy was already delivered
 		}
+		if err := e.net.decodeForWire(&b); err != nil {
+			return Event{Type: EvError, Err: err}
+		}
 		e.net.flightRecv(e.node, &b)
 		if b.Level != e.level {
 			panic(fmt.Sprintf("comm: node %d got level-%d %s batch during level %d",
@@ -470,12 +478,16 @@ func (e *RelayEndpoint) dropDup(id int64) bool {
 	return false
 }
 
-// relayFlush ships one stage-two batch.
+// relayFlush ships one stage-two batch. Stage-two payloads are NoCodec:
+// their composition depends on the order envelopes reached the relay, so
+// re-encoding them would make modelled wire bytes scheduling-dependent;
+// the byte win of the codecs comes from stage one (and the pairs were
+// already normalized by the stage-one decode).
 func (e *RelayEndpoint) relayFlush(ch Channel, dst int, pairs []Pair) error {
 	if e.flows != nil {
 		e.flows.Flow(e.level, ch.String(), obs.FlowStageTwo, e.node, dst, int64(len(pairs))*PairBytes)
 	}
 	return e.net.deliver(Batch{
-		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs,
+		Kind: KindData, Channel: ch, Src: e.node, Dst: dst, Level: e.level, Pairs: pairs, NoCodec: true,
 	})
 }

@@ -1,0 +1,620 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"swbfs/internal/graph"
+)
+
+// This file is the real wire-encoding layer: the tagged formats the
+// density-adaptive codecs emit, the pooled scratch that keeps the encode
+// hot path allocation-free at steady state, and the BitmapCodec /
+// AdaptiveCodec implementations. The classic BFS compressors it packages
+// are Checconi & Petrini's delta/varint pair packing and the dense-frontier
+// bitmap encoding of Buluç & Madduri — the paper's Section 7 names message
+// compression as the orthogonal optimization to integrate.
+
+// WireFormat identifies the on-wire layout of one encoded data payload.
+type WireFormat uint8
+
+const (
+	// FormatRaw is 16 bytes per pair, little-endian, in normalized order.
+	FormatRaw WireFormat = iota
+	// FormatVarintDelta is the sorted delta/varint pair stream.
+	FormatVarintDelta
+	// FormatBitmap is a word-aligned bitmap over the batch's key-vertex
+	// range plus varint companions in key order.
+	FormatBitmap
+	numWireFormats
+)
+
+func (f WireFormat) String() string {
+	switch f {
+	case FormatRaw:
+		return "raw"
+	case FormatVarintDelta:
+		return "varint-delta"
+	case FormatBitmap:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Tag byte of the self-describing formats: bits 0-1 carry the WireFormat,
+// bit 2 the key column (0 = column 1, the forward channel's destination;
+// 1 = column 0, the backward channel's probed parent), bits 3-7 must be
+// zero. VarintDeltaCodec's legacy stream stays untagged for compatibility;
+// only BitmapCodec and AdaptiveCodec emit tagged payloads.
+const (
+	tagFormatMask = 0x03
+	tagKeyBit     = 0x04
+)
+
+// keyColumn returns the Pair column that is owned by the receiving node on
+// the given channel — the dense, clustered column worth bitmap-encoding.
+// Forward pairs (u discovered v) go to v's owner; backward probes (u, v)
+// go to u's owner.
+func keyColumn(ch Channel) int {
+	if ch == ChanBackward {
+		return 0
+	}
+	return 1
+}
+
+// PayloadCodec is a Codec that actually encodes batches on the wire: the
+// transport calls EncodePayload on every outgoing data batch and
+// DecodePayload on arrival, and the modelled wire size of the batch is the
+// exact length of the encoded buffer. Encoding normalizes pair order —
+// DecodePayload returns the multiset sorted by (key column, other column)
+// — which completed runs cannot observe: parent claims and fold updates
+// are order-independent.
+type PayloadCodec interface {
+	Codec
+	// EncodePayload appends the encoded payload to dst and reports the
+	// format it chose. pairs must be non-empty; the input is not modified.
+	EncodePayload(dst []byte, ch Channel, pairs []Pair) ([]byte, WireFormat)
+	// PayloadSize returns exactly len(encoded) for the same arguments,
+	// without encoding.
+	PayloadSize(ch Channel, pairs []Pair) int64
+	// DecodePayload appends the decoded pairs to dst. It inverts
+	// EncodePayload bitwise: re-encoding the result reproduces the stream.
+	DecodePayload(dst []Pair, data []byte) ([]Pair, error)
+}
+
+// CodecByName resolves a CLI codec name. "" and "raw" mean no codec (the
+// identity encoding); unknown names error with the valid set.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", "raw":
+		return nil, nil
+	case "varint-delta":
+		return VarintDeltaCodec{}, nil
+	case "bitmap":
+		return BitmapCodec{}, nil
+	case "adaptive":
+		return AdaptiveCodec{}, nil
+	}
+	return nil, fmt.Errorf("comm: unknown codec %q (want raw, varint-delta, bitmap or adaptive)", name)
+}
+
+// codecScratch is the reusable encode workspace: one sorted copy of the
+// batch shared between sizing and encoding, so the hot path neither
+// allocates nor sorts twice.
+type codecScratch struct {
+	sorter pairSorter
+}
+
+// pairSorter sorts pairs by (key column, other column). It is a concrete
+// sort.Interface so sort.Sort sees a pointer — no closure, no allocation.
+type pairSorter struct {
+	ps  []Pair
+	key int
+}
+
+func (s *pairSorter) Len() int      { return len(s.ps) }
+func (s *pairSorter) Swap(i, j int) { s.ps[i], s.ps[j] = s.ps[j], s.ps[i] }
+func (s *pairSorter) Less(i, j int) bool {
+	a, b := &s.ps[i], &s.ps[j]
+	if a[s.key] != b[s.key] {
+		return a[s.key] < b[s.key]
+	}
+	return a[1-s.key] < b[1-s.key]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(codecScratch) }}
+
+// getScratch returns a scratch holding a (key, other)-sorted copy of pairs.
+func getScratch(pairs []Pair, key int) *codecScratch {
+	s := scratchPool.Get().(*codecScratch)
+	s.sorter.key = key
+	s.sorter.ps = append(s.sorter.ps[:0], pairs...)
+	sort.Sort(&s.sorter)
+	return s
+}
+
+func (s *codecScratch) release() { scratchPool.Put(s) }
+
+// encBuf boxes an encoded payload buffer for pooling. Storing a bare
+// []byte in a sync.Pool heap-allocates the slice header on every Put;
+// cycling pointer-sized boxes between two pools keeps the steady-state
+// encode path allocation-free (TestAdaptiveEncodeAllocs pins this).
+type encBuf struct{ b []byte }
+
+// encBufPool holds boxes carrying a recycled buffer; encBoxPool holds the
+// emptied boxes waiting for the next putEncBuf. Boxes cycle between the
+// two, so neither Get nor Put allocates once warm.
+var (
+	encBufPool = sync.Pool{New: func() any { return new(encBuf) }}
+	encBoxPool = sync.Pool{New: func() any { return new(encBuf) }}
+)
+
+// getEncBuf returns a pooled encode buffer (length 0, capacity from past
+// use). deliver encodes into it; the receiving endpoint returns it after
+// decoding.
+func getEncBuf() []byte {
+	eb := encBufPool.Get().(*encBuf)
+	b := eb.b
+	eb.b = nil
+	encBoxPool.Put(eb)
+	return b[:0]
+}
+
+func putEncBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	eb := encBoxPool.Get().(*encBuf)
+	eb.b = b[:0]
+	encBufPool.Put(eb)
+}
+
+// uvarintLen returns the uvarint encoding length of x without encoding.
+func uvarintLen(x uint64) int64 {
+	n := int64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// zigzag maps a signed value to the unsigned varint space (small magnitude
+// either sign stays small); unzigzag inverts it.
+func zigzag(v int64) uint64   { return uint64(v)<<1 ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// mkPair reassembles a pair from its key and other columns.
+func mkPair(key int, k, o int64) Pair {
+	if key == 0 {
+		return Pair{graph.Vertex(k), graph.Vertex(o)}
+	}
+	return Pair{graph.Vertex(o), graph.Vertex(k)}
+}
+
+// ---- tagged raw: tag | (8B key-col-agnostic LE pair)* -------------------
+
+func taggedRawSize(n int) int64 { return 1 + int64(n)*PairBytes }
+
+func appendTaggedRaw(dst []byte, sorted []Pair, key int) []byte {
+	dst = append(dst, byte(FormatRaw)|tagKey(key))
+	var w [8]byte
+	for _, p := range sorted {
+		binary.LittleEndian.PutUint64(w[:], uint64(p[0]))
+		dst = append(dst, w[:]...)
+		binary.LittleEndian.PutUint64(w[:], uint64(p[1]))
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// ---- tagged varint-delta: tag | (uvarint keyDelta, uvarint other)* ------
+
+func taggedVarintSize(sorted []Pair, key int) int64 {
+	size := int64(1)
+	prev := int64(0)
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		d := uint64(k - prev)
+		if i == 0 {
+			d = uint64(k)
+		}
+		size += uvarintLen(d) + uvarintLen(uint64(sorted[i][1-key]))
+		prev = k
+	}
+	return size
+}
+
+func appendTaggedVarint(dst []byte, sorted []Pair, key int) []byte {
+	dst = append(dst, byte(FormatVarintDelta)|tagKey(key))
+	var buf [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		d := uint64(k - prev)
+		if i == 0 {
+			d = uint64(k)
+		}
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], d)]...)
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(sorted[i][1-key]))]...)
+		prev = k
+	}
+	return dst
+}
+
+// ---- tagged bitmap ------------------------------------------------------
+//
+// tag | zigzag-varint(base = min key) | uvarint(nwords)
+//     | nwords x 8B LE bitmap of the distinct keys over [base, base+64*nwords)
+//     | per set key, ascending: uvarint(first other)  — min other of the key
+//     | uvarint(nExtras)
+//     | per remaining (key, other), ascending: uvarint(key - prevKey) uvarint(other)
+//
+// The bitmap carries the batch's key column — the receiver-owned vertex
+// range, word-aligned like the hub frontier bitmaps — and duplicates of a
+// key (several sources discovering one destination, several probes of one
+// parent) spill into the extras stream.
+
+func tagKey(key int) byte {
+	if key == 0 {
+		return tagKeyBit
+	}
+	return 0
+}
+
+func bitmapWords(sorted []Pair, key int) uint64 {
+	base := int64(sorted[0][key])
+	span := uint64(int64(sorted[len(sorted)-1][key])) - uint64(base)
+	return span/64 + 1
+}
+
+func taggedBitmapSize(sorted []Pair, key int) int64 {
+	base := int64(sorted[0][key])
+	words := bitmapWords(sorted, key)
+	size := int64(1) + uvarintLen(zigzag(base)) + uvarintLen(words) + int64(words)*8
+	var nExtras, extrasSize int64
+	prevKey, prevExtra := base-1, base // prevKey tracks the last distinct key
+	first := true
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		o := uint64(sorted[i][1-key])
+		if first || k != prevKey {
+			size += uvarintLen(o)
+			prevKey = k
+			first = false
+		} else {
+			nExtras++
+			extrasSize += uvarintLen(uint64(k-prevExtra)) + uvarintLen(o)
+			prevExtra = k
+		}
+	}
+	return size + uvarintLen(uint64(nExtras)) + extrasSize
+}
+
+func appendTaggedBitmap(dst []byte, sorted []Pair, key int) []byte {
+	base := int64(sorted[0][key])
+	words := bitmapWords(sorted, key)
+	dst = append(dst, byte(FormatBitmap)|tagKey(key))
+	var buf [binary.MaxVarintLen64]byte
+	dst = append(dst, buf[:binary.PutUvarint(buf[:], zigzag(base))]...)
+	dst = append(dst, buf[:binary.PutUvarint(buf[:], words)]...)
+
+	// Pass 1: the key bitmap, streamed word by word.
+	var wb [8]byte
+	var w uint64
+	wi := uint64(0)
+	prevKey := base - 1
+	first := true
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		if !first && k == prevKey {
+			continue
+		}
+		first = false
+		prevKey = k
+		idx := uint64(k) - uint64(base)
+		for wi < idx/64 {
+			binary.LittleEndian.PutUint64(wb[:], w)
+			dst = append(dst, wb[:]...)
+			w = 0
+			wi++
+		}
+		w |= 1 << (idx % 64)
+	}
+	for wi < words {
+		binary.LittleEndian.PutUint64(wb[:], w)
+		dst = append(dst, wb[:]...)
+		w = 0
+		wi++
+	}
+
+	// Pass 2: the first companion of each set key, ascending.
+	prevKey, first = base-1, true
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		if !first && k == prevKey {
+			continue
+		}
+		first = false
+		prevKey = k
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(sorted[i][1-key]))]...)
+	}
+
+	// Pass 3: extras — duplicate-key entries, delta-keyed from base.
+	var nExtras int64
+	prevKey, first = base-1, true
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		if first || k != prevKey {
+			first = false
+			prevKey = k
+			continue
+		}
+		nExtras++
+	}
+	dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(nExtras))]...)
+	prevKey, first = base-1, true
+	prevExtra := base
+	for i := range sorted {
+		k := int64(sorted[i][key])
+		if first || k != prevKey {
+			first = false
+			prevKey = k
+			continue
+		}
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(k-prevExtra))]...)
+		dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(sorted[i][1-key]))]...)
+		prevExtra = k
+	}
+	return dst
+}
+
+// decodeTagged inverts appendTaggedRaw/Varint/Bitmap, appending to dst.
+// The whole stream must be consumed exactly; pairs come back sorted by
+// (key column, other column).
+func decodeTagged(dst []Pair, data []byte) ([]Pair, error) {
+	if len(data) == 0 {
+		return dst, nil
+	}
+	tag := data[0]
+	if tag&^(tagFormatMask|tagKeyBit) != 0 {
+		return dst, fmt.Errorf("comm: tagged payload: reserved tag bits set (0x%02x)", tag)
+	}
+	format := WireFormat(tag & tagFormatMask)
+	key := 1
+	if tag&tagKeyBit != 0 {
+		key = 0
+	}
+	body := data[1:]
+	switch format {
+	case FormatRaw:
+		if len(body)%PairBytes != 0 {
+			return dst, fmt.Errorf("comm: raw payload: %d bytes is not a whole number of pairs", len(body))
+		}
+		for len(body) > 0 {
+			p0 := int64(binary.LittleEndian.Uint64(body))
+			p1 := int64(binary.LittleEndian.Uint64(body[8:]))
+			dst = append(dst, Pair{graph.Vertex(p0), graph.Vertex(p1)})
+			body = body[PairBytes:]
+		}
+		return dst, nil
+
+	case FormatVarintDelta:
+		prev := int64(0)
+		for len(body) > 0 {
+			d, n := binary.Uvarint(body)
+			if n <= 0 {
+				return dst, fmt.Errorf("comm: varint payload: bad key delta")
+			}
+			body = body[n:]
+			o, n := binary.Uvarint(body)
+			if n <= 0 {
+				return dst, fmt.Errorf("comm: varint payload: truncated companion")
+			}
+			body = body[n:]
+			k := prev + int64(d)
+			dst = append(dst, mkPair(key, k, int64(o)))
+			prev = k
+		}
+		return dst, nil
+
+	case FormatBitmap:
+		return decodeTaggedBitmap(dst, body, key)
+
+	default:
+		return dst, fmt.Errorf("comm: tagged payload: unknown format %d", format)
+	}
+}
+
+func decodeTaggedBitmap(dst []Pair, body []byte, key int) ([]Pair, error) {
+	start := len(dst)
+	zb, n := binary.Uvarint(body)
+	if n <= 0 {
+		return dst, fmt.Errorf("comm: bitmap payload: bad base")
+	}
+	body = body[n:]
+	base := unzigzag(zb)
+	words, n := binary.Uvarint(body)
+	if n <= 0 {
+		return dst, fmt.Errorf("comm: bitmap payload: bad word count")
+	}
+	body = body[n:]
+	if words > uint64(len(body))/8 {
+		return dst, fmt.Errorf("comm: bitmap payload: %d words exceed %d remaining bytes", words, len(body))
+	}
+	bitmap := body[:words*8]
+	body = body[words*8:]
+
+	// Firsts: one companion per set bit, ascending key order.
+	for wi := uint64(0); wi < words; wi++ {
+		w := binary.LittleEndian.Uint64(bitmap[wi*8:])
+		for ; w != 0; w &= w - 1 {
+			idx := wi*64 + uint64(bits.TrailingZeros64(w))
+			k := int64(uint64(base) + idx)
+			o, n := binary.Uvarint(body)
+			if n <= 0 {
+				return dst, fmt.Errorf("comm: bitmap payload: truncated companion for key %d", k)
+			}
+			body = body[n:]
+			dst = append(dst, mkPair(key, k, int64(o)))
+		}
+	}
+
+	nExtras, n := binary.Uvarint(body)
+	if n <= 0 {
+		return dst, fmt.Errorf("comm: bitmap payload: bad extras count")
+	}
+	body = body[n:]
+	prev := base
+	for i := uint64(0); i < nExtras; i++ {
+		d, n := binary.Uvarint(body)
+		if n <= 0 {
+			return dst, fmt.Errorf("comm: bitmap payload: bad extra key delta")
+		}
+		body = body[n:]
+		o, n := binary.Uvarint(body)
+		if n <= 0 {
+			return dst, fmt.Errorf("comm: bitmap payload: truncated extra companion")
+		}
+		body = body[n:]
+		k := prev + int64(d)
+		dst = append(dst, mkPair(key, k, int64(o)))
+		prev = k
+	}
+	if len(body) != 0 {
+		return dst, fmt.Errorf("comm: bitmap payload: %d trailing bytes", len(body))
+	}
+	if nExtras > 0 {
+		// Extras interleave with the firsts by key; restore (key, other)
+		// order. Off the hot path — extras mean duplicate keys, which BFS
+		// batches rarely contain in volume.
+		var ps pairSorter
+		ps.ps = dst[start:]
+		ps.key = key
+		sort.Sort(&ps)
+	}
+	return dst, nil
+}
+
+// BitmapCodec always prefers the bitmap layout, falling back to tagged raw
+// when the key range is too sparse for the bitmap to pay (the raw layout
+// is the identity bound, so the fallback also caps the encode cost of a
+// pathological key span). AdaptiveCodec is the production choice; this
+// codec exists to measure the bitmap layout in isolation.
+type BitmapCodec struct{}
+
+// Name implements Codec.
+func (BitmapCodec) Name() string { return "bitmap" }
+
+// EncodedSize implements Codec with forward-channel semantics.
+func (c BitmapCodec) EncodedSize(pairs []Pair) int64 {
+	return c.PayloadSize(ChanForward, pairs)
+}
+
+// PayloadSize implements PayloadCodec.
+func (BitmapCodec) PayloadSize(ch Channel, pairs []Pair) int64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	key := keyColumn(ch)
+	s := getScratch(pairs, key)
+	defer s.release()
+	bm := taggedBitmapSize(s.sorter.ps, key)
+	if raw := taggedRawSize(len(pairs)); raw < bm {
+		return raw
+	}
+	return bm
+}
+
+// EncodePayload implements PayloadCodec.
+func (BitmapCodec) EncodePayload(dst []byte, ch Channel, pairs []Pair) ([]byte, WireFormat) {
+	if len(pairs) == 0 {
+		return dst, FormatBitmap
+	}
+	key := keyColumn(ch)
+	s := getScratch(pairs, key)
+	defer s.release()
+	sorted := s.sorter.ps
+	if raw := taggedRawSize(len(sorted)); raw < taggedBitmapSize(sorted, key) {
+		return appendTaggedRaw(dst, sorted, key), FormatRaw
+	}
+	return appendTaggedBitmap(dst, sorted, key), FormatBitmap
+}
+
+// DecodePayload implements PayloadCodec.
+func (BitmapCodec) DecodePayload(dst []Pair, data []byte) ([]Pair, error) {
+	return decodeTagged(dst, data)
+}
+
+// AdaptiveCodec picks the cheapest of {raw, varint-delta, bitmap} per
+// batch from the batch's own key density: sparse wide-range batches stay
+// raw, clustered sparse batches delta-compress, dense batches (the
+// bottom-up backward query waves) collapse into bitmaps. Ties prefer the
+// cheaper decode (raw, then varint-delta, then bitmap). One pooled sorted
+// scratch serves the three exact size computations and the final encode,
+// so the steady-state hot path allocates nothing.
+type AdaptiveCodec struct{}
+
+// Name implements Codec.
+func (AdaptiveCodec) Name() string { return "adaptive" }
+
+// EncodedSize implements Codec with forward-channel semantics.
+func (c AdaptiveCodec) EncodedSize(pairs []Pair) int64 {
+	return c.PayloadSize(ChanForward, pairs)
+}
+
+// PayloadSize implements PayloadCodec.
+func (AdaptiveCodec) PayloadSize(ch Channel, pairs []Pair) int64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	key := keyColumn(ch)
+	s := getScratch(pairs, key)
+	defer s.release()
+	size, _ := adaptiveChoice(s.sorter.ps, key)
+	return size
+}
+
+// EncodePayload implements PayloadCodec.
+func (AdaptiveCodec) EncodePayload(dst []byte, ch Channel, pairs []Pair) ([]byte, WireFormat) {
+	if len(pairs) == 0 {
+		return dst, FormatRaw
+	}
+	key := keyColumn(ch)
+	s := getScratch(pairs, key)
+	defer s.release()
+	sorted := s.sorter.ps
+	_, format := adaptiveChoice(sorted, key)
+	switch format {
+	case FormatRaw:
+		return appendTaggedRaw(dst, sorted, key), FormatRaw
+	case FormatVarintDelta:
+		return appendTaggedVarint(dst, sorted, key), FormatVarintDelta
+	default:
+		return appendTaggedBitmap(dst, sorted, key), FormatBitmap
+	}
+}
+
+// DecodePayload implements PayloadCodec.
+func (AdaptiveCodec) DecodePayload(dst []Pair, data []byte) ([]Pair, error) {
+	return decodeTagged(dst, data)
+}
+
+// adaptiveChoice returns the cheapest format and its exact size.
+func adaptiveChoice(sorted []Pair, key int) (int64, WireFormat) {
+	raw := taggedRawSize(len(sorted))
+	vd := taggedVarintSize(sorted, key)
+	bm := taggedBitmapSize(sorted, key)
+	switch {
+	case raw <= vd && raw <= bm:
+		return raw, FormatRaw
+	case vd <= bm:
+		return vd, FormatVarintDelta
+	default:
+		return bm, FormatBitmap
+	}
+}

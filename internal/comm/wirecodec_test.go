@@ -1,0 +1,392 @@
+package comm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"swbfs/internal/graph"
+)
+
+// densePairs is the bottom-up regime: every local vertex queries, so the
+// key column walks a dense consecutive range while the other column holds
+// arbitrary remote IDs.
+func densePairs(n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{graph.Vertex(1<<40 + int64(i)*3), graph.Vertex(int64(i))}
+	}
+	return ps
+}
+
+// hugeSparsePairs have IDs near the top of the vertex space with wide
+// gaps, so every varint costs more than the 8 raw bytes it replaces.
+func hugeSparsePairs(n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{
+			graph.Vertex(int64(1)<<61 + int64(i)*(int64(1)<<40)),
+			graph.Vertex(int64(1)<<60 + int64(i)*(int64(1)<<35)),
+		}
+	}
+	return ps
+}
+
+// sortByColumn orders pairs by (key, other) — the canonical order every
+// tagged format decodes to.
+func sortByColumn(ps []Pair, key int) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][key] != ps[j][key] {
+			return ps[i][key] < ps[j][key]
+		}
+		return ps[i][1-key] < ps[j][1-key]
+	})
+}
+
+// TestAdaptiveFormatCrossover pins the exact pair counts where the
+// adaptive codec flips formats on two reference distributions. The
+// thresholds are properties of the wire format (tag + header overhead
+// amortization), so a change here means the format itself changed.
+func TestAdaptiveFormatCrossover(t *testing.T) {
+	var codec AdaptiveCodec
+	cases := []struct {
+		name  string
+		pairs func(int) []Pair
+		n     int
+		want  WireFormat
+	}{
+		// Dense consecutive keys: varint-delta wins while the bitmap's
+		// word/base overhead dominates, bitmap from 12 pairs on.
+		{"dense-last-varint", densePairs, 11, FormatVarintDelta},
+		{"dense-first-bitmap", densePairs, 12, FormatBitmap},
+		// Huge sparse IDs: varints cost ~9-10 bytes each, so raw wins
+		// until delta encoding amortizes the first absolute key at 4 pairs.
+		{"sparse-last-raw", hugeSparsePairs, 3, FormatRaw},
+		{"sparse-first-varint", hugeSparsePairs, 4, FormatVarintDelta},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pairs := tc.pairs(tc.n)
+			enc, format := codec.EncodePayload(nil, ChanForward, pairs)
+			if format != tc.want {
+				t.Fatalf("%d pairs encoded as %s, want %s", tc.n, format, tc.want)
+			}
+			if got := int64(len(enc)); got != codec.PayloadSize(ChanForward, pairs) {
+				t.Fatalf("encoded %d bytes, PayloadSize says %d", got, codec.PayloadSize(ChanForward, pairs))
+			}
+			if tagFmt := WireFormat(enc[0] & tagFormatMask); tagFmt != tc.want {
+				t.Fatalf("tag byte says %s, want %s", tagFmt, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdaptivePicksCheapest: for arbitrary payloads the adaptive encoding
+// is never larger than any single format's, and the modelled size always
+// equals the actual buffer length.
+func TestAdaptivePicksCheapest(t *testing.T) {
+	var adaptive AdaptiveCodec
+	var bitmap BitmapCodec
+	var varint VarintDeltaCodec
+	f := func(raw []byte, backward bool) bool {
+		ch := ChanForward
+		if backward {
+			ch = ChanBackward
+		}
+		pairs := pairsFromBytes(raw)
+		enc, _ := adaptive.EncodePayload(nil, ch, pairs)
+		size := int64(len(enc))
+		if size != adaptive.PayloadSize(ch, pairs) {
+			return false
+		}
+		if bEnc, _ := bitmap.EncodePayload(nil, ch, pairs); size > int64(len(bEnc)) {
+			return false
+		}
+		if len(pairs) > 0 && size > taggedRawSize(len(pairs)) {
+			return false
+		}
+		// The legacy varint stream has no tag byte; compare against it
+		// with the tag added.
+		if len(pairs) > 0 && size > varint.EncodedSize(pairs)+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaggedRoundTrip: every payload codec reproduces the (key, other)-
+// sorted pair multiset on both channels, including duplicates and
+// negative vertex IDs.
+func TestTaggedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dup := make([]Pair, 400)
+	for i := range dup {
+		dup[i] = Pair{graph.Vertex(rng.Int63n(64)), graph.Vertex(rng.Int63n(16))} // heavy duplication
+	}
+	neg := []Pair{{-5, 3}, {7, -2}, {-5, 3}, {0, 0}, {-1 << 62, 1 << 62}}
+	payloads := map[string][]Pair{
+		"empty":      nil,
+		"single":     {{12345, 67890}},
+		"dense":      densePairs(300),
+		"sparse":     hugeSparsePairs(50),
+		"duplicates": dup,
+		"negative":   neg,
+	}
+	codecs := []PayloadCodec{VarintDeltaCodec{}, BitmapCodec{}, AdaptiveCodec{}}
+	for name, pairs := range payloads {
+		for _, codec := range codecs {
+			for _, ch := range []Channel{ChanForward, ChanBackward} {
+				enc, _ := codec.EncodePayload(nil, ch, pairs)
+				if int64(len(enc)) != codec.PayloadSize(ch, pairs) {
+					t.Fatalf("%s/%s/%s: encoded %d bytes, PayloadSize says %d",
+						name, codec.Name(), ch, len(enc), codec.PayloadSize(ch, pairs))
+				}
+				dec, err := codec.DecodePayload(nil, enc)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: decode: %v", name, codec.Name(), ch, err)
+				}
+				want := append([]Pair(nil), pairs...)
+				// The legacy varint stream always sorts by (dst, src);
+				// tagged formats sort by the channel's key column.
+				if _, legacy := codec.(VarintDeltaCodec); legacy {
+					sortByColumn(want, 1)
+				} else {
+					sortByColumn(want, keyColumn(ch))
+				}
+				if len(dec) != len(want) {
+					t.Fatalf("%s/%s/%s: decoded %d pairs, want %d", name, codec.Name(), ch, len(dec), len(want))
+				}
+				for i := range want {
+					if dec[i] != want[i] {
+						t.Fatalf("%s/%s/%s: pair %d = %v, want %v", name, codec.Name(), ch, i, dec[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTaggedDecodeRejectsGarbage: malformed tagged streams error instead
+// of panicking — reserved tag bits, truncated bodies, impossible word
+// counts.
+func TestTaggedDecodeRejectsGarbage(t *testing.T) {
+	bad := map[string][]byte{
+		"reserved-bits":     {0xF8},
+		"unknown-format":    {0x03},
+		"raw-truncated":     {byte(FormatRaw), 1, 2, 3},
+		"varint-truncated":  {byte(FormatVarintDelta), 0x80},
+		"bitmap-no-base":    {byte(FormatBitmap)},
+		"bitmap-word-bomb":  {byte(FormatBitmap), 0x00, 0xFF, 0xFF, 0xFF, 0x7F},
+		"bitmap-truncwords": {byte(FormatBitmap), 0x00, 0x02, 0xAA},
+	}
+	for name, data := range bad {
+		if _, err := decodeTagged(nil, data); err == nil {
+			t.Errorf("%s: decode accepted garbage %x", name, data)
+		}
+	}
+	// Empty input is the legal empty payload.
+	if dec, err := decodeTagged(nil, nil); err != nil || len(dec) != 0 {
+		t.Fatalf("empty payload decode = (%v, %v)", dec, err)
+	}
+}
+
+// TestCodecByName covers the flag/checkpoint name resolution both ways.
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "", "raw": "", "varint-delta": "varint-delta",
+		"bitmap": "bitmap", "adaptive": "adaptive",
+	} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		got := ""
+		if c != nil {
+			got = c.Name()
+		}
+		if got != want {
+			t.Fatalf("CodecByName(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+	if _, err := CodecByName("gzip"); err == nil {
+		t.Fatal("CodecByName accepted an unknown codec")
+	}
+}
+
+// TestWireTrafficReconciles: the modelled wire bytes equal the actual
+// encoded buffer lengths, on both transports. Every point-to-point byte
+// the fabric charged decomposes exactly into batch headers, encoded
+// payload bytes (the codec counters' sum — real buffer lengths), and the
+// raw pair bytes of the relay's stage-two re-batches.
+func TestWireTrafficReconciles(t *testing.T) {
+	totalP2P := func(net *Network) int64 {
+		s := net.Counters.Snapshot()
+		var total int64
+		for _, b := range s.Bytes {
+			total += b
+		}
+		return total
+	}
+	codecTotals := func(net *Network) (msgs, bytes int64) {
+		for _, ct := range net.CodecTraffic() {
+			msgs += ct.Messages
+			bytes += ct.Bytes
+		}
+		return
+	}
+
+	t.Run("direct", func(t *testing.T) {
+		net := mustNetwork(t, Config{Nodes: 8, SuperNodeSize: 4, BatchBytes: 512, Codec: AdaptiveCodec{}})
+		eps := make([]Endpoint, 8)
+		for i := range eps {
+			eps[i] = NewDirectEndpoint(net, i)
+		}
+		sent, got, err := exchange(t, net, eps, 500, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareExchange(t, sent, got)
+
+		codecMsgs, codecBytes := codecTotals(net)
+		dataMsgs := net.KindMessages(KindData)
+		endMsgs := net.KindMessages(KindEnd)
+		if codecMsgs != dataMsgs {
+			t.Fatalf("codec encoded %d messages, %d data batches delivered", codecMsgs, dataMsgs)
+		}
+		want := batchHeaderBytes*(dataMsgs+endMsgs) + codecBytes
+		if got := totalP2P(net); got != want {
+			t.Fatalf("modelled wire bytes %d != %d (headers %d*(%d+%d) + encoded %d)",
+				got, want, int64(batchHeaderBytes), dataMsgs, endMsgs, codecBytes)
+		}
+	})
+
+	t.Run("relay", func(t *testing.T) {
+		nodes := 8
+		net := mustNetwork(t, Config{Nodes: nodes, SuperNodeSize: 4, BatchBytes: 512, Codec: AdaptiveCodec{}})
+		shape, err := NewGroupShape(nodes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := make([]Endpoint, nodes)
+		reps := make([]*RelayEndpoint, nodes)
+		for i := range eps {
+			re, err := NewRelayEndpoint(net, i, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps[i], reps[i] = re, re
+		}
+		sent, got, err := exchange(t, net, eps, 500, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareExchange(t, sent, got)
+
+		codecMsgs, codecBytes := codecTotals(net)
+		var topMsgs int64
+		for k := Kind(0); k < numKinds; k++ {
+			topMsgs += net.KindMessages(k)
+		}
+		var stageTwoPairBytes int64
+		for _, re := range reps {
+			stageTwoPairBytes += re.TotalRelayedBytes()
+		}
+		// Each stage-one inner batch carries one header plus its encoded
+		// payload (codecMsgs counts exactly the inner batches); stage-two
+		// re-batches go raw, so their payload is the relayed pair bytes.
+		want := batchHeaderBytes*(topMsgs+codecMsgs) + codecBytes + stageTwoPairBytes
+		if got := totalP2P(net); got != want {
+			t.Fatalf("modelled wire bytes %d != %d (headers %d*(%d+%d) + encoded %d + stage-two %d)",
+				got, want, int64(batchHeaderBytes), topMsgs, codecMsgs, codecBytes, stageTwoPairBytes)
+		}
+	})
+}
+
+// TestCodecTrafficLossless runs the standard exchange under every codec
+// and transport: delivery must be a lossless multiset, and the encoded
+// formats must show up in the per-format counters.
+func TestCodecTrafficLossless(t *testing.T) {
+	for _, codec := range []Codec{BitmapCodec{}, AdaptiveCodec{}} {
+		for _, transport := range []string{"direct", "relay"} {
+			t.Run(codec.Name()+"/"+transport, func(t *testing.T) {
+				net := mustNetwork(t, Config{Nodes: 8, SuperNodeSize: 4, BatchBytes: 256, Codec: codec})
+				eps := make([]Endpoint, 8)
+				for i := range eps {
+					if transport == "direct" {
+						eps[i] = NewDirectEndpoint(net, i)
+					} else {
+						shape, err := NewGroupShape(8, 4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						re, err := NewRelayEndpoint(net, i, shape)
+						if err != nil {
+							t.Fatal(err)
+						}
+						eps[i] = re
+					}
+				}
+				sent, got, err := exchange(t, net, eps, 400, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareExchange(t, sent, got)
+				var msgs int64
+				for _, ct := range net.CodecTraffic() {
+					msgs += ct.Messages
+				}
+				if msgs == 0 {
+					t.Fatal("no payload was codec-encoded")
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveEncodeAllocs: the steady-state encode path is
+// allocation-free — scratch, sorter and output buffers all come from
+// pools or the caller.
+func TestAdaptiveEncodeAllocs(t *testing.T) {
+	var codec AdaptiveCodec
+	pairs := densePairs(512)
+	buf, _ := codec.EncodePayload(nil, ChanBackward, pairs) // warm the buffer to full size
+	if n := testing.AllocsPerRun(100, func() {
+		buf, _ = codec.EncodePayload(buf[:0], ChanBackward, pairs)
+	}); n != 0 {
+		t.Fatalf("EncodePayload allocates %.1f times per call in steady state, want 0", n)
+	}
+	// The network path draws its buffers from the encode pool — also free.
+	if n := testing.AllocsPerRun(100, func() {
+		enc, _ := codec.EncodePayload(getEncBuf(), ChanBackward, pairs)
+		putEncBuf(enc)
+	}); n != 0 {
+		t.Fatalf("pooled EncodePayload allocates %.1f times per call, want 0", n)
+	}
+}
+
+// BenchmarkEncodeAdaptive measures the adaptive encode hot path and
+// reports the achieved wire density.
+func BenchmarkEncodeAdaptive(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		pairs []Pair
+	}{
+		{"dense4096", densePairs(4096)},
+		{"sparse4096", hugeSparsePairs(4096)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var codec AdaptiveCodec
+			buf, _ := codec.EncodePayload(nil, ChanBackward, bc.pairs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _ = codec.EncodePayload(buf[:0], ChanBackward, bc.pairs)
+			}
+			b.ReportMetric(float64(len(buf))/float64(len(bc.pairs)), "bytes/pair")
+		})
+	}
+}

@@ -130,6 +130,10 @@ func (r *Runner) machineConfig() ckpt.MachineConfig {
 	if r.cfg.Codec != nil {
 		codec = r.cfg.Codec.Name()
 	}
+	codecBackward := ""
+	if r.cfg.CodecBackward != nil {
+		codecBackward = r.cfg.CodecBackward.Name()
+	}
 	return ckpt.MachineConfig{
 		Nodes:              r.cfg.Nodes,
 		SuperNodeSize:      r.cfg.SuperNodeSize,
@@ -146,6 +150,7 @@ func (r *Runner) machineConfig() ckpt.MachineConfig {
 		BatchBytes:         r.cfg.BatchBytes,
 		MPIMemoryBudget:    r.cfg.MPIMemoryBudget,
 		Codec:              codec,
+		CodecBackward:      codecBackward,
 		Partition:          r.cfg.Partition.String(),
 		GraphN:             r.g.N,
 		GraphEdges:         r.g.NumEdges(),
@@ -187,14 +192,16 @@ func ConfigFromCheckpoint(mc ckpt.MachineConfig) (Config, error) {
 	default:
 		return Config{}, fmt.Errorf("core: checkpoint names unknown engine %q", mc.Engine)
 	}
-	switch mc.Codec {
-	case comm.RawCodec{}.Name():
-		c.Codec = nil
-	case comm.VarintDeltaCodec{}.Name():
-		c.Codec = comm.VarintDeltaCodec{}
-	default:
+	codec, err := comm.CodecByName(mc.Codec)
+	if err != nil {
 		return Config{}, fmt.Errorf("core: checkpoint names unknown codec %q", mc.Codec)
 	}
+	c.Codec = codec
+	codecBackward, err := comm.CodecByName(mc.CodecBackward)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: checkpoint names unknown backward codec %q", mc.CodecBackward)
+	}
+	c.CodecBackward = codecBackward
 	switch mc.Partition {
 	case PartitionRoundRobin.String():
 		c.Partition = PartitionRoundRobin

@@ -115,6 +115,8 @@ func (r *Runner) buildTrace(res *Result, final, term fabric.Snapshot) obs.RunTra
 		TerminationCollectiveBytes: term.CollectiveBytes,
 		TerminationWireBytes:       term.NetworkBytes(),
 		TotalNetworkBytes:          final.NetworkBytes(),
+
+		CodecTraffic: r.net.CodecTraffic(),
 	}
 	rt.Levels = make([]obs.LevelSpan, 0, len(res.Levels))
 	for _, s := range res.Levels {

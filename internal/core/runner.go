@@ -295,6 +295,7 @@ func (r *Runner) run(root graph.Vertex, resume *ckpt.Checkpoint) (*Result, error
 		BatchBytes:      r.cfg.BatchBytes,
 		MPIMemoryBudget: r.cfg.MPIMemoryBudget,
 		Codec:           r.cfg.Codec,
+		CodecBackward:   r.cfg.CodecBackward,
 		Chaos:           r.inj,
 		Flight:          r.flight,
 	})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swbfs/internal/chaos"
+	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
@@ -88,6 +89,20 @@ func SetCheckpoint(every int, path string) {
 	sharedCheckpointEvery, sharedCheckpointPath = every, path
 }
 
+// sharedCodec / sharedCodecBackward select the wire codecs of all
+// functional measurements (nil = raw identity encoding; backward overrides
+// the run-wide codec on the backward channel only).
+var (
+	sharedCodec         comm.Codec
+	sharedCodecBackward comm.Codec
+)
+
+// SetCodec selects the wire codecs for subsequent measurements. Not safe
+// to call concurrently with running measurements.
+func SetCodec(codec, backward comm.Codec) {
+	sharedCodec, sharedCodecBackward = codec, backward
+}
+
 // scaledSuperNodeSize is the super-node size of scaled-down functional
 // runs: small enough that even modest node counts exercise the central
 // (oversubscribed) network level.
@@ -146,6 +161,8 @@ func MeasureBFS(nodes, perNodeLog int, transport core.Transport, engine perf.Eng
 		FlightDump:         sharedFlightDump,
 		CheckpointEvery:    sharedCheckpointEvery,
 		CheckpointPath:     sharedCheckpointPath,
+		Codec:              sharedCodec,
+		CodecBackward:      sharedCodecBackward,
 	}
 	if sharedChaosPlan != nil {
 		cfg.Chaos = sharedChaosPlan

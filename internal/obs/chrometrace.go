@@ -259,15 +259,22 @@ func WriteChromeTrace(w io.Writer, traces []RunTrace, spans []RunSpans) error {
 		if i < len(spans) {
 			offset = spans[i].Offset
 		}
+		runArgs := map[string]any{
+			"visited":         rt.Visited,
+			"traversed_edges": rt.TraversedEdges,
+			"gteps":           rt.GTEPS,
+		}
+		// Per-format codec traffic rides on the run slice when a payload
+		// codec ran; codec-free runs keep their exact legacy output.
+		for _, ct := range rt.CodecTraffic {
+			runArgs["codec_bytes."+ct.Format] = ct.Bytes
+			runArgs["codec_messages."+ct.Format] = ct.Messages
+		}
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("root %d", rt.Root), Cat: "run", Ph: "X",
 			Ts: offset * 1e6, Dur: rt.TotalSeconds * 1e6,
 			Pid: machinePid, Tid: 0,
-			Args: map[string]any{
-				"visited":         rt.Visited,
-				"traversed_edges": rt.TraversedEdges,
-				"gteps":           rt.GTEPS,
-			},
+			Args: runArgs,
 		})
 		levelStart := offset
 		for _, s := range rt.Levels {

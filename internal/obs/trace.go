@@ -70,6 +70,20 @@ type RunTrace struct {
 	// reported by the fabric counters. It equals the sum of the spans'
 	// NetworkBytes plus TerminationWireBytes.
 	TotalNetworkBytes int64 `json:"total_network_bytes"`
+
+	// CodecTraffic breaks the run's payload-encoded traffic down per wire
+	// format ("raw", "varint-delta", "bitmap"): how many data payloads
+	// each format carried and their encoded bytes. Empty (and omitted)
+	// when the run had no payload codec on the transport.
+	CodecTraffic []CodecFormatTraffic `json:"codec_traffic,omitempty"`
+}
+
+// CodecFormatTraffic is one wire format's share of a run's encoded
+// payload traffic.
+type CodecFormatTraffic struct {
+	Format   string `json:"format"`
+	Messages int64  `json:"messages"`
+	Bytes    int64  `json:"bytes"`
 }
 
 // Reconcile verifies the trace's books balance: summed span wall times

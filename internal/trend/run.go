@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"swbfs/internal/algos"
+	"swbfs/internal/comm"
 	"swbfs/internal/core"
 	"swbfs/internal/graph"
 	"swbfs/internal/graph500"
@@ -34,6 +35,12 @@ type ScenarioSpec struct {
 	// its base scenario on every modelled metric; only host_seconds (a
 	// non-gating row) may move.
 	CheckpointEvery int
+	// Codec / CodecBackward name the wire codecs ("" = raw; resolved via
+	// comm.CodecByName). A codec twin of a raw scenario demonstrates the
+	// wire-byte savings: network_bytes drops and, in network-bound
+	// configurations, modelled GTEPS rises.
+	Codec         string
+	CodecBackward string
 }
 
 // DefaultScenarios is the standard sweep: the paper's flagship transport
@@ -61,6 +68,16 @@ func DefaultScenarios() []ScenarioSpec {
 		// host_seconds tracks the capture overhead as a non-gating row.
 		{Name: "direct-cpe-s12-n16-ckpt1", Scale: 12, Nodes: 16, SuperSize: 4, Roots: 4,
 			Transport: core.TransportDirect, Engine: perf.EngineCPE, CheckpointEvery: 1},
+		// Codec twins of the flagship scenario: the adaptive codec on the
+		// dense backward (bottom-up) channel is the paper-motivated win —
+		// bitmap-coded backward batches shrink network_bytes, and in this
+		// network-bound configuration the modelled GTEPS rises versus the
+		// raw flagship above. The varint-delta twin is the non-adaptive
+		// reference point.
+		{Name: "relay-cpe-s14-n16-adaptiveB", Scale: 14, Nodes: 16, SuperSize: 4, Roots: 8,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE, CodecBackward: "adaptive"},
+		{Name: "relay-cpe-s14-n16-varintB", Scale: 14, Nodes: 16, SuperSize: 4, Roots: 8,
+			Transport: core.TransportRelay, Engine: perf.EngineCPE, CodecBackward: "varint-delta"},
 	}
 }
 
@@ -109,6 +126,14 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 	if spec.Kernel != "" {
 		return runKernelScenario(spec, seed)
 	}
+	codec, err := comm.CodecByName(spec.Codec)
+	if err != nil {
+		return Scenario{}, err
+	}
+	codecBackward, err := comm.CodecByName(spec.CodecBackward)
+	if err != nil {
+		return Scenario{}, err
+	}
 	observer := obs.New()
 	machine := core.Config{
 		Nodes:              spec.Nodes,
@@ -126,6 +151,8 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 		// In-memory level-boundary checkpointing (no CheckpointPath, so
 		// nothing hits disk). Zero for every scenario but the -ckpt twin.
 		CheckpointEvery: spec.CheckpointEvery,
+		Codec:           codec,
+		CodecBackward:   codecBackward,
 	}
 	hostStart := time.Now()
 	report, err := graph500.Run(graph500.BenchConfig{
@@ -156,6 +183,8 @@ func runScenario(spec ScenarioSpec, seed int64) (Scenario, error) {
 		Transport:       spec.Transport.String(),
 		Engine:          spec.Engine.String(),
 		CheckpointEvery: spec.CheckpointEvery,
+		Codec:           spec.Codec,
+		CodecBackward:   spec.CodecBackward,
 
 		GTEPS:         report.GTEPSHarmonicMean(),
 		KernelSeconds: report.KernelTime.Mean,

@@ -56,6 +56,12 @@ type Scenario struct {
 	// scenario ran with (0 = off). Checkpoint capture is host-only, so a
 	// nonzero cadence may move host_seconds but no modelled metric.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Codec and CodecBackward record the wire codecs the scenario ran with
+	// ("" = raw on every channel). A codec changes what bytes cross the
+	// simulated wire, so avg_message_bytes is only comparable between
+	// snapshots whose codec tags match — Compare skips that gate otherwise.
+	Codec         string `json:"codec,omitempty"`
+	CodecBackward string `json:"codec_backward,omitempty"`
 
 	// Headline results (modelled machine; deterministic per seed).
 	GTEPS          float64 `json:"gteps_harmonic_mean"`
@@ -249,7 +255,12 @@ func Compare(old, new_ *Snapshot, threshold float64) *CompareReport {
 					ns.Name, os_.MaxConnections, ns.MaxConnections,
 					float64(ns.MaxConnections-os_.MaxConnections)/float64(os_.MaxConnections)*100, threshold*100))
 		}
-		if os_.AvgMessageBytes > 0 && ns.AvgMessageBytes < os_.AvgMessageBytes*(1-threshold) {
+		// avg_message_bytes measures batching efficiency only when both
+		// snapshots put the same bytes on the wire per pair: a codec change
+		// legitimately shrinks messages, so the gate is codec-aware and only
+		// fires for scenario pairs whose codec tags match.
+		sameCodec := os_.Codec == ns.Codec && os_.CodecBackward == ns.CodecBackward
+		if sameCodec && os_.AvgMessageBytes > 0 && ns.AvgMessageBytes < os_.AvgMessageBytes*(1-threshold) {
 			rep.Regressions = append(rep.Regressions,
 				fmt.Sprintf("%s: avg_message_bytes %.1f -> %.1f (%.1f%%, threshold -%.0f%%)",
 					ns.Name, os_.AvgMessageBytes, ns.AvgMessageBytes,

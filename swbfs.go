@@ -72,6 +72,18 @@ type RawCodec = comm.RawCodec
 // vertex IDs — the classic BFS message compressor.
 type VarintDeltaCodec = comm.VarintDeltaCodec
 
+// BitmapCodec encodes the key column as a word-aligned bitmap over the
+// owner's vertex range — the dense-frontier wire format.
+type BitmapCodec = comm.BitmapCodec
+
+// AdaptiveCodec picks the cheapest of raw, varint-delta and bitmap per
+// batch by measuring the exact encoded size of each.
+type AdaptiveCodec = comm.AdaptiveCodec
+
+// CodecByName resolves a codec by its flag/checkpoint name: "", "raw",
+// "varint-delta", "bitmap" or "adaptive".
+func CodecByName(name string) (Codec, error) { return comm.CodecByName(name) }
+
 // Graph500Config configures a full benchmark execution (generation, 64
 // roots, kernel, validation, statistics).
 type Graph500Config = graph500.BenchConfig
